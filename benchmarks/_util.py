@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates a table or figure from the paper.  Since
+pytest captures stdout, each bench also writes its rendered rows to
+``benchmarks/results/<name>.txt`` so the regenerated artifacts survive
+any invocation style (plain ``pytest benchmarks/ --benchmark-only``
+included).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, text: str) -> str:
+    """Print ``text`` and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text.rstrip() + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+    return path
+
+
+def table(headers: List[str], rows: List[List[object]]) -> str:
+    """Render a simple aligned text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def join_members(world, names, stack, group="bench", settle=0.4, final=2.0):
+    """Standard group bring-up used across benches."""
+    handles: Dict[str, object] = {}
+    for name in names:
+        handles[name] = world.process(name).endpoint().join(group, stack=stack)
+        world.run(settle)
+    world.run(final)
+    return handles

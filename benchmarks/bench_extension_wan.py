@@ -1,0 +1,87 @@
+"""Extension bench — the routed WAN substrate (Figure 1's "routing").
+
+Not a table in the paper, but Figure 1 lists routing ("fragments
+through internet") among the protocol types a complete system needs;
+this bench characterizes the substrate the reproduction provides for
+it: multi-hop forwarding cost, route failover, and group operation
+across sites.
+"""
+
+from repro import World
+from repro.net.address import EndpointAddress
+from repro.net.wan import WanNetwork
+from repro.sim.scheduler import Scheduler
+
+from _util import report, table
+
+
+def build_wan(scheduler=None):
+    wan = WanNetwork(scheduler or Scheduler())
+    for site in ("nyc", "chi", "den", "sfo"):
+        wan.add_site(site)
+    wan.add_link("nyc", "chi", delay=0.010)
+    wan.add_link("chi", "den", delay=0.012)
+    wan.add_link("den", "sfo", delay=0.011)
+    wan.add_link("nyc", "sfo", delay=0.090)  # slow direct backup
+    return wan
+
+
+def _one_way(world, wan, src_site, dst_site):
+    src = EndpointAddress(f"s-{src_site}", 0)
+    dst = EndpointAddress(f"d-{dst_site}", 0)
+    wan.place_node(src.node, src_site)
+    wan.place_node(dst.node, dst_site)
+    arrivals = []
+    wan.attach(src, lambda p: None)
+    wan.attach(dst, lambda p: arrivals.append(world.now))
+    start = world.now
+    wan.unicast(src, dst, b"x" * 100)
+    world.run(0.5)
+    wan.detach(src)
+    wan.detach(dst)
+    return (arrivals[0] - start) if arrivals else None
+
+
+def test_multi_hop_latency_series(benchmark):
+    wan = build_wan()
+    world = World(seed=1, network=wan, trace=False)
+    wan.scheduler = world.scheduler
+    rows = []
+    for dst, hops in (("nyc", 0), ("chi", 1), ("den", 2), ("sfo", 3)):
+        latency = _one_way(world, wan, "nyc", dst)
+        rows.append([f"nyc -> {dst}", hops, f"{latency * 1e3:.2f}"])
+    report(
+        "extension_wan_latency",
+        table(["path", "hops", "one-way latency (ms)"], rows),
+    )
+    # Shape: latency grows with hop count.
+    latencies = [float(row[2]) for row in rows]
+    assert latencies == sorted(latencies)
+    benchmark.pedantic(
+        _one_way, args=(world, wan, "nyc", "sfo"), rounds=1, iterations=1
+    )
+
+
+def test_failover_latency(benchmark):
+    wan = build_wan()
+    world = World(seed=2, network=wan, trace=False)
+    wan.scheduler = world.scheduler
+    normal = _one_way(world, wan, "nyc", "sfo")
+    wan.fail_link("chi", "den")
+    rerouted = _one_way(world, wan, "nyc", "sfo")
+    report(
+        "extension_wan_failover",
+        table(
+            ["condition", "nyc->sfo latency (ms)", "route"],
+            [
+                ["all links up", f"{normal * 1e3:.2f}",
+                 "nyc-chi-den-sfo (33 ms of links)"],
+                ["chi--den down", f"{rerouted * 1e3:.2f}",
+                 "nyc-sfo direct backup (90 ms)"],
+            ],
+        ),
+    )
+    assert rerouted > normal * 2  # the backup is visibly worse, but alive
+    benchmark.pedantic(
+        _one_way, args=(world, wan, "nyc", "chi"), rounds=1, iterations=1
+    )

@@ -1,0 +1,94 @@
+"""Experiment F2 — Figure 2: the flush protocol.
+
+Replays the paper's exact scenario — four processes A, B, C, D; D
+crashes right after sending a message M that only C received; the flush
+forwards M through the coordinator so every survivor delivers it before
+the new view — then measures how flush cost (messages and virtual time)
+scales with group size.
+"""
+
+import pytest
+
+from repro import World
+from repro.verify import check_view_agreement, check_virtual_synchrony
+
+from _util import join_members, report, table
+
+STACK = "MBRSHIP:FRAG:NAK:COM"
+
+
+def _figure2_scenario():
+    world = World(seed=5, network="lan")
+    handles = join_members(world, ["a", "b", "c", "d"], STACK)
+    # D casts M; the transient partition makes C its only receiver.
+    world.partition({"c", "d"}, {"a", "b"})
+    handles["d"].cast(b"M")
+    world.run(0.05)
+    world.crash("d")
+    world.heal()
+    world.run(8.0)
+    return world, handles
+
+
+def test_figure2_exact_scenario(benchmark):
+    world, handles = benchmark(_figure2_scenario)
+    rows = []
+    for name in ("a", "b", "c"):
+        handle = handles[name]
+        rows.append(
+            [
+                name,
+                str(handle.view.view_id),
+                len(handle.view.members),
+                [m.data.decode() for m in handle.delivery_log],
+            ]
+        )
+    report(
+        "figure2_flush_scenario",
+        table(["member", "final view", "size", "delivered"], rows),
+    )
+    # The paper's claim: every survivor delivered M and installed the
+    # same 3-member view, even though only C originally received M.
+    for name in ("a", "b", "c"):
+        assert [m.data for m in handles[name].delivery_log] == [b"M"]
+        assert handles[name].view.size == 3
+    check_view_agreement([handles[n] for n in "abc"])
+    check_virtual_synchrony([handles[n] for n in "abc"])
+
+
+@pytest.mark.parametrize("size", [3, 5, 8, 12])
+def test_flush_cost_vs_group_size(benchmark, size):
+    """Flush cost as the group grows: failure-detection latency, the
+    flush protocol's own latency (flush start → every survivor
+    installed), and the packets it took."""
+    names = [f"m{i}" for i in range(size)]
+
+    def crash_and_flush():
+        world = World(seed=size, network="lan")
+        handles = join_members(world, names, STACK)
+        world.trace.clear()
+        before = world.network.stats.packets_sent
+        crash_time = world.now
+        world.crash(names[-1])
+        for _ in range(300):
+            world.run(0.1)
+            if all(handles[n].view.size == size - 1 for n in names[:-1]):
+                break
+        packets = world.network.stats.packets_sent - before
+        flush_starts = world.trace.by_category("flush_start")
+        installs = world.trace.by_category("view")
+        detection = flush_starts[0].time - crash_time
+        protocol = max(r.time for r in installs) - flush_starts[0].time
+        return detection, protocol, packets
+
+    detection, protocol, packets = benchmark.pedantic(
+        crash_and_flush, rounds=1, iterations=1
+    )
+    report(
+        f"figure2_flush_cost_n{size}",
+        table(
+            ["group size", "detection (s)", "flush protocol (s)", "packets"],
+            [[size, f"{detection:.3f}", f"{protocol * 1e3:.1f} ms", packets]],
+        ),
+    )
+    assert protocol < 5.0

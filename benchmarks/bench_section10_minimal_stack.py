@@ -1,0 +1,104 @@
+"""Experiment S10c — Section 10: pay only for what you use.
+
+Two of the paper's claims:
+
+* "the layering *improves* performance, since applications can choose
+  the minimal stack for their requirements" — measured as throughput of
+  the synthesized minimal stack versus a maximal everything stack.
+* "an application can decide whether or not it needs end-to-end
+  guarantees, and, if so, whether STABLE or PINWHEEL will be optimal" —
+  measured as background control traffic of the two stability layers.
+"""
+
+from repro import World
+from repro.properties import P
+from repro.properties.synthesis import synthesize_spec
+
+from _util import join_members, report, table
+
+MAXIMAL = "SAFE:STABLE:TOTAL:MERGE:MBRSHIP:COMPRESS:FRAG:NAK:CHKSUM:COM"
+MESSAGES = 200
+
+
+def _throughput(spec: str, messages: int = MESSAGES):
+    world = World(seed=3, network="lan", trace=False)
+    handles = join_members(world, ["a", "b", "c"], spec, settle=0.5, final=3.0)
+    if "MBRSHIP" not in spec and "BMS" not in spec:
+        # Membership-less stacks need explicit destination sets.
+        members = [h.endpoint_address for h in handles.values()]
+        for handle in handles.values():
+            handle.set_destinations(members)
+        world.run(0.2)
+    last_delivery = {"t": world.now}
+    handles["c"].on_message = lambda d: last_delivery.__setitem__("t", world.now)
+    start_time = world.now
+    packets_before = world.network.stats.packets_sent
+    for i in range(messages):
+        handles["a"].cast(b"y" * 64)
+    deadline = world.now + 60.0
+    while world.now < deadline:
+        world.run(0.5)
+        if all(
+            sum(m.was_cast for m in h.delivery_log) >= messages
+            for h in handles.values()
+        ):
+            break
+    elapsed = last_delivery["t"] - start_time  # to the final delivery
+    packets = world.network.stats.packets_sent - packets_before
+    return messages / elapsed, packets / messages
+
+
+def test_minimal_vs_maximal_stack(benchmark):
+    minimal = synthesize_spec({P.FIFO_MULTICAST}, network="lan")
+    rate_min, ppm_min = _throughput(minimal)
+    rate_max, ppm_max = _throughput(MAXIMAL)
+    rows = [
+        [f"minimal ({minimal})", f"{rate_min:.0f}", f"{ppm_min:.1f}"],
+        [f"maximal ({MAXIMAL})", f"{rate_max:.0f}", f"{ppm_max:.1f}"],
+        ["minimal / maximal", f"{rate_min / rate_max:.2f}x", "-"],
+    ]
+    report(
+        "section10_minimal_stack",
+        table(
+            ["stack", "delivery completion rate (msgs/sim-s)", "packets/msg"],
+            rows,
+        ),
+    )
+    # Shape: the minimal stack sustains at least the maximal stack's
+    # rate and spends fewer packets per message.
+    assert rate_min >= rate_max
+    assert ppm_min <= ppm_max
+    benchmark.pedantic(_throughput, args=(minimal, 50), rounds=1, iterations=1)
+
+
+def _stability_traffic(layer: str, group_size: int = 6, quiet_time: float = 20.0):
+    """Control messages per second while the group is idle."""
+    world = World(seed=9, network="lan", trace=False)
+    names = [f"m{i}" for i in range(group_size)]
+    stack = f"{layer}:MBRSHIP:FRAG:NAK:COM"
+    handles = join_members(world, names, stack, settle=0.4, final=3.0)
+    handles[names[0]].cast(b"warm-up")
+    world.run(1.0)
+    packets_before = world.network.stats.packets_sent
+    world.run(quiet_time)
+    packets = world.network.stats.packets_sent - packets_before
+    return packets / quiet_time
+
+
+def test_stable_vs_pinwheel(benchmark):
+    stable_rate = _stability_traffic("STABLE")
+    pinwheel_rate = _stability_traffic("PINWHEEL")
+    rows = [
+        ["STABLE (all-gossip)", f"{stable_rate:.0f}"],
+        ["PINWHEEL (rotating slot)", f"{pinwheel_rate:.0f}"],
+        ["PINWHEEL / STABLE", f"{pinwheel_rate / stable_rate:.2f}x"],
+    ]
+    report(
+        "section10_stable_vs_pinwheel",
+        table(["stability layer", "idle packets/sim-second (n=6)"], rows),
+    )
+    # Shape: the pinwheel's background traffic is well below STABLE's.
+    assert pinwheel_rate < stable_rate
+    benchmark.pedantic(
+        _stability_traffic, args=("PINWHEEL", 4, 5.0), rounds=1, iterations=1
+    )

@@ -1,0 +1,98 @@
+"""Experiment S10a — Section 10: per-layer overhead.
+
+"The cost of a layer can be as low as just a few instructions at
+runtime ... the overhead of the fragmentation/reassembly layer FRAG
+(which only needs one bit of header space) adds about 50 usecs to the
+one-way latency."
+
+Absolute microseconds belong to a 1995 Sparc 10; the *shape* we
+reproduce is (a) per-message cost grows roughly linearly with stack
+depth, and (b) FRAG adds a small measurable delta when it is not
+fragmenting — pure layer-crossing overhead.  Measured two ways: wall
+clock per delivered message (Python-process cost) and scheduler events
+per message (implementation-independent work).
+"""
+
+import time
+
+from repro import World
+
+from _util import report, table
+
+#: Stacks of increasing depth; every one is well-formed over the LAN.
+DEPTH_LADDER = [
+    "COM",
+    "NAK:COM",
+    "FRAG:NAK:COM",
+    "TRACER:FRAG:NAK:COM",
+    "ACCOUNT:TRACER:FRAG:NAK:COM",
+    "LOGGER:ACCOUNT:TRACER:FRAG:NAK:COM",
+    "COMPRESS:LOGGER:ACCOUNT:TRACER:FRAG:NAK:COM",
+]
+
+MESSAGES = 300
+
+
+def _run_stack(spec: str, messages: int = MESSAGES):
+    world = World(seed=1, network="lan", trace=False)
+    handles = {}
+    for name in ("a", "b"):
+        handles[name] = world.process(name).endpoint().join("grp", stack=spec)
+    members = [h.endpoint_address for h in handles.values()]
+    for handle in handles.values():
+        handle.set_destinations(members)
+    world.run(0.3)
+    events_before = world.scheduler.events_executed
+    wall_start = time.perf_counter()
+    for i in range(messages):
+        handles["a"].cast(b"x" * 100)
+    world.run(5.0)
+    wall = time.perf_counter() - wall_start
+    events = world.scheduler.events_executed - events_before
+    assert len(handles["b"].delivery_log) == messages
+    return wall / messages, events / messages
+
+
+def test_overhead_vs_stack_depth(benchmark):
+    _run_stack(DEPTH_LADDER[0], 50)  # warm caches before timing
+    rows = []
+    per_depth = {}
+    for spec in DEPTH_LADDER:
+        wall_per_msg, events_per_msg = _run_stack(spec)
+        depth = spec.count(":") + 1
+        per_depth[depth] = wall_per_msg
+        rows.append(
+            [depth, spec, f"{wall_per_msg * 1e6:.1f}", f"{events_per_msg:.1f}"]
+        )
+    report(
+        "section10_depth_ladder",
+        table(["depth", "stack", "us/msg (wall)", "events/msg"], rows),
+    )
+    # Shape check: each extra layer is cheap ("a few instructions"):
+    # going from 1 to 7 layers must stay within a small factor.  (Strict
+    # monotonicity is not asserted — single-run wall clock is noisy.)
+    assert per_depth[7] < max(per_depth[1], per_depth[2]) * 5.0
+    benchmark(_run_stack, "FRAG:NAK:COM", 50)
+
+
+def test_frag_layer_delta(benchmark):
+    """The paper's concrete datum: FRAG's overhead on small messages
+    (no fragmentation happening — pure boundary cost)."""
+    without_frag, _ = _run_stack("NAK:COM")
+    with_frag, _ = _run_stack("FRAG:NAK:COM")
+    delta_us = (with_frag - without_frag) * 1e6
+    report(
+        "section10_frag_delta",
+        table(
+            ["configuration", "us/msg"],
+            [
+                ["NAK:COM", f"{without_frag * 1e6:.1f}"],
+                ["FRAG:NAK:COM", f"{with_frag * 1e6:.1f}"],
+                ["FRAG delta", f"{delta_us:+.1f}"],
+                ["paper (Sparc 10, C)", "+50 us one-way"],
+            ],
+        ),
+    )
+    # Shape: the delta is a small fraction of total cost, not a blowup.
+    assert with_frag < without_frag * 3.0
+    benchmark(_run_stack, "FRAG:NAK:COM", 50)

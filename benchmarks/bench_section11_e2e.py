@@ -1,0 +1,120 @@
+"""Experiment S11 — Section 11: end-to-end performance claims.
+
+"Very lightweight protocol stacks permit Horus users to obtain the
+performance of an ATM network with almost no overhead at all."
+
+Measured as (a) one-way latency of the lightest stack over the ATM
+substrate versus the raw network itself, and (b) throughput/latency
+series across stack weights and group sizes — the series a performance
+table in a systems paper would report.
+"""
+
+import pytest
+
+from repro import World
+from repro.net.address import EndpointAddress
+
+from _util import join_members, report, table
+
+LIGHT = "COM"
+MEDIUM = "FRAG:NAK:COM"
+HEAVY = "TOTAL:STABLE:MBRSHIP:FRAG:NAK:COM"
+
+
+def _raw_network_latency(world: World) -> float:
+    """One-way latency of the bare simulated ATM for a 100-byte packet."""
+    a, b = EndpointAddress("raw-a", 0), EndpointAddress("raw-b", 0)
+    arrivals = []
+    world.network.attach(a, lambda p: arrivals.append(world.now))
+    world.network.attach(b, lambda p: arrivals.append(world.now))
+    start = world.now
+    world.network.unicast(a, b, b"r" * 100)
+    world.run(0.1)
+    world.network.detach(a)
+    world.network.detach(b)
+    return arrivals[-1] - start
+
+
+def _stack_latency(world: World, spec: str) -> float:
+    handles = {}
+    for name in ("sa", "sb"):
+        handles[name] = world.process(name).endpoint().join(
+            f"lat-{spec}", stack=spec
+        )
+        world.run(0.4)
+    world.run(3.0)
+    if spec in (LIGHT, MEDIUM):
+        members = [h.endpoint_address for h in handles.values()]
+        for handle in handles.values():
+            handle.set_destinations(members)
+        world.run(0.2)
+    arrival = []
+    handles["sb"].on_message = lambda d: arrival.append(world.now)
+    start = world.now
+    handles["sa"].cast(b"r" * 100)
+    world.run(2.0)
+    return arrival[0] - start
+
+
+def test_atm_with_almost_no_overhead(benchmark):
+    world = World(seed=2, network="atm", trace=False)
+    raw = _raw_network_latency(world)
+    light = _stack_latency(world, LIGHT)
+    heavy = _stack_latency(world, HEAVY)
+    rows = [
+        ["raw ATM", f"{raw * 1e6:.1f}"],
+        [f"lightest stack ({LIGHT})", f"{light * 1e6:.1f}"],
+        [f"heavy stack ({HEAVY})", f"{heavy * 1e6:.1f}"],
+        ["light/raw overhead", f"{(light / raw - 1) * 100:.0f}%"],
+    ]
+    report("section11_atm_overhead", table(["path", "one-way latency (us)"], rows))
+    # The paper's claim: the lightest stack rides the network's latency.
+    assert light < raw * 2.0
+    assert heavy >= light
+    benchmark.pedantic(
+        _stack_latency, args=(World(seed=3, network="atm", trace=False), LIGHT),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("size", [2, 4, 8])
+def test_throughput_vs_group_size(benchmark, size):
+    """Throughput series per stack weight and group size."""
+    rows = []
+    for label, spec in (("medium", MEDIUM), ("heavy", HEAVY)):
+        world = World(seed=size, network="atm", trace=False)
+        names = [f"g{i}" for i in range(size)]
+        handles = join_members(world, names, spec, settle=0.4, final=3.0)
+        if spec == MEDIUM:
+            members = [h.endpoint_address for h in handles.values()]
+            for handle in handles.values():
+                handle.set_destinations(members)
+            world.run(0.2)
+        messages = 150
+        receiver = handles[names[-1]]
+        last_delivery = {"t": world.now}
+        receiver.on_message = (
+            lambda d: last_delivery.__setitem__("t", world.now)
+        )
+        start = world.now
+        for i in range(messages):
+            handles[names[0]].cast(b"t" * 64)
+        deadline = world.now + 60.0
+        while world.now < deadline:
+            world.run(0.5)
+            if sum(m.was_cast for m in receiver.delivery_log) >= messages:
+                break
+        rate = messages / (last_delivery["t"] - start)
+        rows.append([size, label, spec, f"{rate:.0f}"])
+    report(
+        f"section11_throughput_n{size}",
+        table(
+            ["group size", "weight", "stack",
+             "completion rate (msgs/sim-s)"],
+            rows,
+        ),
+    )
+    medium_rate = float(rows[0][3])
+    heavy_rate = float(rows[1][3])
+    assert medium_rate >= heavy_rate  # ordering + stability cost something
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,115 @@
+"""Experiment T1/T2 — Tables 1 and 2: the HCPI call sets.
+
+Regenerates both tables from the live event vocabulary (every layer in
+the system speaks exactly these calls), and benchmarks the cost of
+pushing an event through the uniform interface — the "indirect
+procedure call each time a layer boundary is crossed" of Section 10.
+"""
+
+from repro.core.events import (
+    Downcall,
+    DowncallType,
+    Upcall,
+    UpcallType,
+    cast_down,
+)
+from repro.core.layer import Layer, LayerContext
+from repro.core.message import Message
+from repro.core.stack import Stack
+from repro.net.address import EndpointAddress, GroupAddress
+from repro.net.network import Network
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceRecorder
+
+from _util import report, table
+
+_TABLE1_DESCRIPTIONS = {
+    DowncallType.ENDPOINT: "create a communication endpoint",
+    DowncallType.JOIN: "join group and return handle",
+    DowncallType.MERGE: "merge with other view",
+    DowncallType.MERGE_DENIED: "deny merge request",
+    DowncallType.MERGE_GRANTED: "grant merge request",
+    DowncallType.VIEW: "install a group view",
+    DowncallType.CAST: "multicast a message",
+    DowncallType.SEND: "send message to subset",
+    DowncallType.ACK: "acknowledge a message",
+    DowncallType.STABLE: "message is stable",
+    DowncallType.LEAVE: "leave group",
+    DowncallType.FLUSH: "remove members and flush",
+    DowncallType.FLUSH_OK: "go along with flush",
+    DowncallType.DESTROY: "clean up endpoint",
+    DowncallType.FOCUS: "focus on layer and return handle",
+    DowncallType.DUMP: "dump layer information",
+}
+
+_TABLE2_DESCRIPTIONS = {
+    UpcallType.MERGE_REQUEST: "request to merge",
+    UpcallType.MERGE_DENIED: "request denied",
+    UpcallType.FLUSH: "view flush started",
+    UpcallType.FLUSH_OK: "flush completed",
+    UpcallType.VIEW: "view installation",
+    UpcallType.CAST: "received multicast message",
+    UpcallType.SEND: "received subset message",
+    UpcallType.LEAVE: "member leaves",
+    UpcallType.DESTROY: "endpoint destroyed",
+    UpcallType.LOST_MESSAGE: "message was lost",
+    UpcallType.STABLE: "stability update",
+    UpcallType.PROBLEM: "communication problem",
+    UpcallType.SYSTEM_ERROR: "system error report",
+    UpcallType.EXIT: "close down event",
+}
+
+
+def test_table1_downcalls_complete(benchmark):
+    rows = [[d.value, _TABLE1_DESCRIPTIONS[d]] for d in DowncallType]
+    report("table1_downcalls", table(["downcall", "description"], rows))
+    assert len(DowncallType) == 16  # the paper's full Table 1
+    message = Message(b"x")
+    benchmark(lambda: Downcall(DowncallType.CAST, message=message))
+
+
+def test_table2_upcalls_complete(benchmark):
+    rows = [[u.value, _TABLE2_DESCRIPTIONS[u]] for u in UpcallType]
+    report("table2_upcalls", table(["upcall", "description"], rows))
+    assert len(UpcallType) == 14  # the paper's full Table 2
+    message = Message(b"x")
+    source = EndpointAddress("n", 0)
+    benchmark(lambda: Upcall(UpcallType.CAST, message=message, source=source))
+
+
+class _PassThrough(Layer):
+    """A do-nothing layer: the cost floor of one boundary crossing."""
+
+    name = "TRACER"  # reuse a registered transparent name for codecs
+
+
+def _passthrough_stack(depth: int):
+    scheduler = Scheduler()
+    context = LayerContext(
+        scheduler=scheduler,
+        network=Network(scheduler),
+        endpoint=EndpointAddress("n", 0),
+        group=GroupAddress("g"),
+        rng=None,
+        trace=TraceRecorder(enabled=False),
+    )
+    sink = []
+    layers = [_PassThrough(context) for _ in range(depth)]
+
+    class _Bottom(Layer):
+        name = "ACCOUNT"
+
+        def handle_down(self, downcall):
+            sink.append(downcall)
+
+    layers.append(_Bottom(context))
+    stack = Stack(layers, context, deliver=lambda upcall: None)
+    return stack, sink
+
+
+def test_hcpi_dispatch_through_ten_layers(benchmark):
+    """One downcall crossing ten uniform boundaries — the HCPI hot path."""
+    stack, sink = _passthrough_stack(depth=10)
+    downcall = cast_down(Message(b"payload"))
+    benchmark(lambda: stack.down(downcall))
+    assert sink  # the call really traversed the stack

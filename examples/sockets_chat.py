@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Horus hidden behind a UNIX-sockets interface (Sections 2 and 11).
+
+"Horus can present a process group through a standard UNIX sockets
+interface (e.g. a UNIX sendto operation will be mapped to a multicast,
+and a recvfrom will receive the next incoming message)."
+
+A three-user chat room where the application code only ever touches the
+socket-shaped facade — the virtual synchrony machinery underneath stays
+invisible until someone "disconnects" (crashes) and the room keeps
+working anyway.
+
+Run:  python examples/sockets_chat.py
+"""
+
+from repro import World
+from repro.layers import HorusSocket
+
+
+def drain(name: str, sock: HorusSocket) -> None:
+    while True:
+        received = sock.recvfrom()
+        if received is None:
+            break
+        data, addr = received
+        print(f"  [{name}'s screen] <{addr.node}> {data.decode()}")
+
+
+def main() -> None:
+    world = World(seed=5, network="lan")
+
+    sockets = {}
+    for user in ("ann", "ben", "cat"):
+        sock = HorusSocket(world.process(user).endpoint())
+        sock.bind("chatroom")
+        sockets[user] = sock
+        world.run(0.5)
+    world.run(2.0)
+
+    print("== everyone chats through plain sendto/recvfrom ==")
+    sockets["ann"].sendto(b"hi all!", "chatroom")
+    sockets["ben"].sendto(b"hey ann", "chatroom")
+    world.run(1.0)
+    for user, sock in sockets.items():
+        drain(user, sock)
+
+    print("== cat's machine dies; the room doesn't ==")
+    world.crash("cat")
+    world.run(6.0)
+    sockets["ann"].sendto(b"did cat just drop?", "chatroom")
+    world.run(1.0)
+    for user in ("ann", "ben"):
+        drain(user, sockets[user])
+    view = sockets["ann"].handle.view
+    print(f"  room membership now: {[str(m) for m in view.members]}")
+
+    print("== ben leaves politely ==")
+    sockets["ben"].close()
+    world.run(4.0)
+    view = sockets["ann"].handle.view
+    print(f"  room membership now: {[str(m) for m in view.members]}")
+
+
+if __name__ == "__main__":
+    main()

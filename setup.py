@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+the package can be installed editable on machines without the ``wheel``
+package (``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

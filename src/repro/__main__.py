@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables`` — regenerate the paper's Tables 1-4 from the live system.
+* ``layers`` — list every registered protocol layer and its purpose.
+* ``synthesize P9 P6 [--network atm]`` — build the minimal stack for a
+  set of required properties and show the derivation (Section 6).
+* ``demo`` — a 30-second tour: join, cast, crash, view change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+
+def _cmd_tables(_args) -> int:
+    from repro.core.events import DowncallType, UpcallType
+    from repro.properties import render_table3, render_table4
+
+    print("Table 1 — HCPI downcalls")
+    for downcall in DowncallType:
+        print(f"  {downcall.value}")
+    print("\nTable 2 — HCPI upcalls")
+    for upcall in UpcallType:
+        print(f"  {upcall.value}")
+    print("\nTable 3 — Requires (R) / Inherits (I) / Provides (P)")
+    print(render_table3())
+    print("\nTable 4 — protocol properties")
+    print(render_table4())
+    return 0
+
+
+def _cmd_layers(_args) -> int:
+    from repro.core.stack import known_layers
+    from repro.properties.registry import PROFILES
+
+    for name in known_layers():
+        profile = PROFILES.get(name)
+        purpose = profile.purpose if profile else ""
+        print(f"  {name:<10} {purpose}")
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    from repro.errors import SynthesisError
+    from repro.properties import check_well_formed
+    from repro.properties.props import parse_property
+    from repro.properties.synthesis import synthesize_spec
+
+    try:
+        required = {parse_property(text) for text in args.properties}
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        spec = synthesize_spec(required, network=args.network)
+    except SynthesisError as exc:
+        print(f"no stack exists: {exc}", file=sys.stderr)
+        return 1
+    if not spec:
+        print(f"the {args.network} network already provides all of that")
+        return 0
+    analysis = check_well_formed(spec, args.network)
+    print(f"stack: {spec}")
+    print(analysis.explain())
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    from repro import World
+
+    world = World(seed=7, network="lan")
+    print("joining three members over MBRSHIP:FRAG:NAK:COM ...")
+    handles = {}
+    for name in ("alice", "bob", "carol"):
+        handles[name] = world.process(name).endpoint().join(
+            "demo", stack="MBRSHIP:FRAG:NAK:COM"
+        )
+        world.run(0.5)
+    world.run(2.0)
+    print(f"view: {handles['alice'].view}")
+    handles["alice"].cast(b"hello from alice")
+    world.run(1.0)
+    for name, handle in handles.items():
+        print(f"  {name} delivered: {[m.data.decode() for m in handle.delivery_log]}")
+    print("crashing carol ...")
+    world.crash("carol")
+    world.run(6.0)
+    print(f"view after flush: {handles['alice'].view}")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Horus protocol-composition reproduction (PODC 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("tables", help="regenerate the paper's Tables 1-4")
+    sub.add_parser("layers", help="list the protocol layer library")
+    synth = sub.add_parser(
+        "synthesize", help="minimal stack for required properties"
+    )
+    synth.add_argument("properties", nargs="+", metavar="P",
+                       help="required properties, e.g. P9 P6")
+    synth.add_argument("--network", default="atm",
+                       choices=["atm", "udp", "lan", "plain"])
+    sub.add_parser("demo", help="a 30-second simulated group tour")
+    args = parser.parse_args(argv)
+    handlers = {
+        "tables": _cmd_tables,
+        "layers": _cmd_layers,
+        "synthesize": _cmd_synthesize,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,727 @@
+"""Header codecs and the wire format.
+
+Inside a process, headers are plain dictionaries pushed and popped on the
+:class:`~repro.core.message.Message` header stack with no serialization
+cost.  Only at the wire boundary (the COM layer) is a message marshalled
+to bytes and back.
+
+Section 10 of the paper identifies header handling as an overhead
+source: "Layers push their own header onto the message.  For
+convenience, this header is aligned to a word boundary.  This leads to
+a considerable overhead of unused bits" — and proposes precomputing "a
+single header in which the necessary fields are compacted".  We
+implement both strategies so the trade-off can be measured:
+
+* ``aligned`` — each header is encoded independently and padded to a
+  32-bit boundary (the paper's production scheme).
+* ``compact`` — headers are concatenated with no padding.
+* :func:`packed_bit_size` — the analytic size of the paper's proposed
+  precomputed bit-packed header, for the Section 10 benchmark.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.message import Header, Message
+from repro.errors import HeaderError
+from repro.net.address import EndpointAddress, GroupAddress
+
+# ----------------------------------------------------------------------
+# Bit-level IO (the Section 10 "compacted single header" proposal)
+# ----------------------------------------------------------------------
+
+
+class BitWriter:
+    """Accumulates values MSB-first into a byte stream."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, bits: int) -> None:
+        """Append the low ``bits`` bits of ``value``."""
+        if value < 0 or (bits < 64 and value >> bits):
+            raise HeaderError(f"value {value} does not fit in {bits} bits")
+        self._acc = (self._acc << bits) | value
+        self._nbits += bits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._out.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes (bit-aligned, not byte-aligned)."""
+        for byte in data:
+            self.write(byte, 8)
+
+    def getvalue(self) -> bytes:
+        """Finish: pad the tail to a byte boundary and return the stream."""
+        if self._nbits:
+            pad = 8 - self._nbits
+            self.write(0, pad)
+        return bytes(self._out)
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far (before final padding)."""
+        return len(self._out) * 8 + self._nbits
+
+
+class BitReader:
+    """Reads values MSB-first from a byte stream."""
+
+    def __init__(self, data: bytes, offset_bits: int = 0) -> None:
+        self._data = data
+        self._pos = offset_bits
+
+    def read(self, bits: int) -> int:
+        """Consume and return ``bits`` bits as an unsigned integer."""
+        end = self._pos + bits
+        if end > len(self._data) * 8:
+            raise HeaderError("bit stream exhausted")
+        value = 0
+        pos = self._pos
+        remaining = bits
+        while remaining:
+            byte = self._data[pos // 8]
+            avail = 8 - (pos % 8)
+            take = min(avail, remaining)
+            shift = avail - take
+            chunk = (byte >> shift) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            pos += take
+            remaining -= take
+        self._pos = pos
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        """Consume ``count`` bytes (bit-aligned)."""
+        return bytes(self.read(8) for _ in range(count))
+
+    @property
+    def position_bits(self) -> int:
+        """Current read position in bits."""
+        return self._pos
+
+
+# ----------------------------------------------------------------------
+# Field types
+# ----------------------------------------------------------------------
+
+
+class FieldType:
+    """Encodes/decodes one header field and knows its ideal bit width."""
+
+    def encode(self, value: Any, out: bytearray) -> None:
+        raise NotImplementedError
+
+    def decode(self, data: bytes, offset: int) -> Tuple[Any, int]:
+        raise NotImplementedError
+
+    def bit_size(self, value: Any) -> int:
+        """Minimum bits this value needs in a bit-packed header."""
+        raise NotImplementedError
+
+    # Bit-packed forms; the default round-trips through the byte codec
+    # so every field type works in packed mode even before it has a
+    # hand-tuned bit layout.
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        buffer = bytearray()
+        self.encode(value, buffer)
+        writer.write(len(buffer), 16)
+        writer.write_bytes(bytes(buffer))
+
+    def decode_bits(self, reader: BitReader) -> Any:
+        length = reader.read(16)
+        value, _ = self.decode(reader.read_bytes(length), 0)
+        return value
+
+
+class _UInt(FieldType):
+    def __init__(self, fmt: str, bits: int):
+        self._fmt = ">" + fmt
+        self._bits = bits
+        self._size = struct.calcsize(self._fmt)
+
+    def encode(self, value: Any, out: bytearray) -> None:
+        out += struct.pack(self._fmt, int(value))
+
+    def decode(self, data: bytes, offset: int) -> Tuple[int, int]:
+        (value,) = struct.unpack_from(self._fmt, data, offset)
+        return value, offset + self._size
+
+    def bit_size(self, value: Any) -> int:
+        return self._bits
+
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        writer.write(int(value), self._bits)
+
+    def decode_bits(self, reader: BitReader) -> int:
+        return reader.read(self._bits)
+
+
+class _Bool(FieldType):
+    def encode(self, value: Any, out: bytearray) -> None:
+        out.append(1 if value else 0)
+
+    def decode(self, data: bytes, offset: int) -> Tuple[bool, int]:
+        if offset >= len(data):
+            raise HeaderError("truncated bool field")
+        return bool(data[offset]), offset + 1
+
+    def bit_size(self, value: Any) -> int:
+        return 1  # the paper's FRAG example: one bit of real information
+
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        writer.write(1 if value else 0, 1)
+
+    def decode_bits(self, reader: BitReader) -> bool:
+        return bool(reader.read(1))
+
+
+class _Float(FieldType):
+    def encode(self, value: Any, out: bytearray) -> None:
+        out += struct.pack(">d", float(value))
+
+    def decode(self, data: bytes, offset: int) -> Tuple[float, int]:
+        (value,) = struct.unpack_from(">d", data, offset)
+        return value, offset + 8
+
+    def bit_size(self, value: Any) -> int:
+        return 64
+
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        (as_int,) = struct.unpack(">Q", struct.pack(">d", float(value)))
+        writer.write(as_int, 64)
+
+    def decode_bits(self, reader: BitReader) -> float:
+        (value,) = struct.unpack(">d", struct.pack(">Q", reader.read(64)))
+        return value
+
+
+class _VarBytes(FieldType):
+    def encode(self, value: Any, out: bytearray) -> None:
+        data = bytes(value)
+        out += struct.pack(">I", len(data))
+        out += data
+
+    def decode(self, data: bytes, offset: int) -> Tuple[bytes, int]:
+        (length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        end = offset + length
+        if end > len(data):
+            raise HeaderError("truncated bytes field")
+        return data[offset:end], end
+
+    def bit_size(self, value: Any) -> int:
+        return 32 + 8 * len(bytes(value))
+
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        data = bytes(value)
+        writer.write(len(data), 32)
+        writer.write_bytes(data)
+
+    def decode_bits(self, reader: BitReader) -> bytes:
+        return reader.read_bytes(reader.read(32))
+
+
+class _Text(FieldType):
+    def encode(self, value: Any, out: bytearray) -> None:
+        data = str(value).encode("utf-8")
+        out += struct.pack(">H", len(data))
+        out += data
+
+    def decode(self, data: bytes, offset: int) -> Tuple[str, int]:
+        (length,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        end = offset + length
+        if end > len(data):
+            raise HeaderError("truncated text field")
+        return data[offset:end].decode("utf-8"), end
+
+    def bit_size(self, value: Any) -> int:
+        return 16 + 8 * len(str(value).encode("utf-8"))
+
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        data = str(value).encode("utf-8")
+        writer.write(len(data), 16)
+        writer.write_bytes(data)
+
+    def decode_bits(self, reader: BitReader) -> str:
+        return reader.read_bytes(reader.read(16)).decode("utf-8")
+
+
+class _Address(FieldType):
+    def encode(self, value: Any, out: bytearray) -> None:
+        data = value.marshal()
+        out.append(len(data))
+        out += data
+
+    def decode(self, data: bytes, offset: int) -> Tuple[EndpointAddress, int]:
+        if offset >= len(data):
+            raise HeaderError("truncated address field")
+        length = data[offset]
+        offset += 1
+        end = offset + length
+        if end > len(data):
+            raise HeaderError("truncated address field")
+        return EndpointAddress.unmarshal(data[offset:end]), end
+
+    def bit_size(self, value: Any) -> int:
+        return 8 + 8 * len(value.marshal())
+
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        data = value.marshal()
+        writer.write(len(data), 8)
+        writer.write_bytes(data)
+
+    def decode_bits(self, reader: BitReader) -> "EndpointAddress":
+        return EndpointAddress.unmarshal(reader.read_bytes(reader.read(8)))
+
+
+class _Group(FieldType):
+    def encode(self, value: Any, out: bytearray) -> None:
+        data = value.marshal()
+        out.append(len(data))
+        out += data
+
+    def decode(self, data: bytes, offset: int) -> Tuple[GroupAddress, int]:
+        if offset >= len(data):
+            raise HeaderError("truncated group field")
+        length = data[offset]
+        offset += 1
+        end = offset + length
+        if end > len(data):
+            raise HeaderError("truncated group field")
+        return GroupAddress.unmarshal(data[offset:end]), end
+
+    def bit_size(self, value: Any) -> int:
+        return 8 + 8 * len(value.marshal())
+
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        data = value.marshal()
+        writer.write(len(data), 8)
+        writer.write_bytes(data)
+
+    def decode_bits(self, reader: BitReader) -> "GroupAddress":
+        return GroupAddress.unmarshal(reader.read_bytes(reader.read(8)))
+
+
+class ListOf(FieldType):
+    """A length-prefixed homogeneous list of another field type."""
+
+    def __init__(self, element: FieldType):
+        self.element = element
+
+    def encode(self, value: Any, out: bytearray) -> None:
+        items = list(value)
+        out += struct.pack(">H", len(items))
+        for item in items:
+            self.element.encode(item, out)
+
+    def decode(self, data: bytes, offset: int) -> Tuple[List[Any], int]:
+        (count,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        items: List[Any] = []
+        for _ in range(count):
+            item, offset = self.element.decode(data, offset)
+            items.append(item)
+        return items, offset
+
+    def bit_size(self, value: Any) -> int:
+        return 16 + sum(self.element.bit_size(item) for item in value)
+
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        items = list(value)
+        writer.write(len(items), 16)
+        for item in items:
+            self.element.encode_bits(item, writer)
+
+    def decode_bits(self, reader: BitReader) -> List[Any]:
+        count = reader.read(16)
+        return [self.element.decode_bits(reader) for _ in range(count)]
+
+
+class MapOf(FieldType):
+    """A length-prefixed map with typed keys and values."""
+
+    def __init__(self, key: FieldType, value: FieldType):
+        self.key = key
+        self.value = value
+
+    def encode(self, value: Any, out: bytearray) -> None:
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        out += struct.pack(">H", len(items))
+        for k, v in items:
+            self.key.encode(k, out)
+            self.value.encode(v, out)
+
+    def decode(self, data: bytes, offset: int) -> Tuple[Dict[Any, Any], int]:
+        (count,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        result: Dict[Any, Any] = {}
+        for _ in range(count):
+            k, offset = self.key.decode(data, offset)
+            v, offset = self.value.decode(data, offset)
+            result[k] = v
+        return result, offset
+
+    def bit_size(self, value: Any) -> int:
+        return 16 + sum(
+            self.key.bit_size(k) + self.value.bit_size(v) for k, v in value.items()
+        )
+
+    def encode_bits(self, value: Any, writer: BitWriter) -> None:
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        writer.write(len(items), 16)
+        for k, v in items:
+            self.key.encode_bits(k, writer)
+            self.value.encode_bits(v, writer)
+
+    def decode_bits(self, reader: BitReader) -> Dict[Any, Any]:
+        count = reader.read(16)
+        result: Dict[Any, Any] = {}
+        for _ in range(count):
+            k = self.key.decode_bits(reader)
+            result[k] = self.value.decode_bits(reader)
+        return result
+
+
+#: Shared singleton field types, used declaratively by layer modules.
+U8 = _UInt("B", 8)
+U16 = _UInt("H", 16)
+U32 = _UInt("I", 32)
+U64 = _UInt("Q", 64)
+BOOL = _Bool()
+F64 = _Float()
+VARBYTES = _VarBytes()
+TEXT = _Text()
+ADDRESS = _Address()
+GROUP = _Group()
+
+FieldSpec = Tuple[str, FieldType]
+
+
+# ----------------------------------------------------------------------
+# Per-layer codec
+# ----------------------------------------------------------------------
+
+
+class HeaderCodec:
+    """Declarative codec for one layer's header.
+
+    ``fields`` is an ordered list of ``(name, field_type)`` pairs, with
+    optional per-field defaults in ``defaults``.  Encoding a header dict
+    writes every declared field (missing ones take their default);
+    decoding always yields the full dict.
+    """
+
+    def __init__(
+        self,
+        layer: str,
+        fields: Sequence[FieldSpec],
+        defaults: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.layer = layer
+        self.fields = list(fields)
+        self.defaults = dict(defaults or {})
+
+    def encode(self, header: Header) -> bytes:
+        """Encode ``header`` to exact (unpadded) bytes."""
+        out = bytearray()
+        for name, ftype in self.fields:
+            if name in header:
+                value = header[name]
+            elif name in self.defaults:
+                value = self.defaults[name]
+            else:
+                raise HeaderError(f"{self.layer}: missing header field {name!r}")
+            try:
+                ftype.encode(value, out)
+            except HeaderError:
+                raise
+            except Exception as exc:
+                raise HeaderError(
+                    f"{self.layer}: cannot encode field {name!r}={value!r}: {exc}"
+                ) from exc
+        return bytes(out)
+
+    def decode(self, data: bytes) -> Header:
+        """Decode bytes produced by :meth:`encode` back into a dict."""
+        header: Header = {}
+        offset = 0
+        for name, ftype in self.fields:
+            try:
+                header[name], offset = ftype.decode(data, offset)
+            except HeaderError:
+                raise
+            except Exception as exc:
+                raise HeaderError(
+                    f"{self.layer}: cannot decode field {name!r}: {exc}"
+                ) from exc
+        return header
+
+    def bit_size(self, header: Header) -> int:
+        """Bits this header would need in a packed single-header layout."""
+        total = 0
+        for name, ftype in self.fields:
+            value = header.get(name, self.defaults.get(name))
+            total += ftype.bit_size(value)
+        return total
+
+    def encode_bits(self, header: Header, writer: BitWriter) -> None:
+        """Append this header's fields to a packed bit stream."""
+        for name, ftype in self.fields:
+            if name in header:
+                value = header[name]
+            elif name in self.defaults:
+                value = self.defaults[name]
+            else:
+                raise HeaderError(f"{self.layer}: missing header field {name!r}")
+            try:
+                ftype.encode_bits(value, writer)
+            except HeaderError:
+                raise
+            except Exception as exc:
+                raise HeaderError(
+                    f"{self.layer}: cannot bit-encode field {name!r}={value!r}: {exc}"
+                ) from exc
+
+    def decode_bits(self, reader: BitReader) -> Header:
+        """Read this header's fields from a packed bit stream."""
+        header: Header = {}
+        for name, ftype in self.fields:
+            try:
+                header[name] = ftype.decode_bits(reader)
+            except HeaderError:
+                raise
+            except Exception as exc:
+                raise HeaderError(
+                    f"{self.layer}: cannot bit-decode field {name!r}: {exc}"
+                ) from exc
+        return header
+
+
+# ----------------------------------------------------------------------
+# Registry and wire format
+# ----------------------------------------------------------------------
+
+_MAGIC = 0x4852  # "HR"
+_MODE_ALIGNED = 0
+_MODE_COMPACT = 1
+_MODE_PACKED = 2  # the Section 10 proposal: one bit-compacted header block
+_WORD = 4  # paper: headers aligned to a (32-bit) word boundary
+
+_MODE_BYTES = {"aligned": _MODE_ALIGNED, "compact": _MODE_COMPACT,
+               "packed": _MODE_PACKED}
+
+
+class HeaderRegistry:
+    """Maps layer names to codecs and numeric wire identifiers.
+
+    Identifiers are assigned at registration time; because every node in
+    a simulation shares one Python process (and registration happens at
+    import), sender and receiver always agree on the numbering — the
+    single system-wide message format the paper calls for.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Tuple[int, HeaderCodec]] = {}
+        self._by_id: Dict[int, HeaderCodec] = {}
+
+    def register(self, codec: HeaderCodec) -> HeaderCodec:
+        """Register ``codec``; re-registering the same layer name is an error."""
+        if codec.layer in self._by_name:
+            raise HeaderError(f"codec for layer {codec.layer!r} already registered")
+        layer_id = len(self._by_id) + 1
+        if layer_id > 0xFF:
+            raise HeaderError("too many registered header codecs")
+        self._by_name[codec.layer] = (layer_id, codec)
+        self._by_id[layer_id] = codec
+        return codec
+
+    def codec_for(self, layer: str) -> HeaderCodec:
+        """The codec registered for ``layer`` (raises if absent)."""
+        try:
+            return self._by_name[layer][1]
+        except KeyError:
+            raise HeaderError(f"no codec registered for layer {layer!r}") from None
+
+    def has(self, layer: str) -> bool:
+        """Whether ``layer`` has a registered codec."""
+        return layer in self._by_name
+
+    # -- wire format ----------------------------------------------------
+
+    def marshal(self, message: Message, mode: str = "aligned") -> bytes:
+        """Flatten ``message`` (headers + body) to wire bytes.
+
+        Modes: ``aligned`` (per-layer headers padded to word boundaries,
+        the 1995 production scheme), ``compact`` (per-layer, unpadded),
+        ``packed`` (the Section 10 proposal: one bit-compacted header
+        block with no per-header framing — FRAG's boolean really costs
+        one bit on the wire).
+        """
+        try:
+            mode_byte = _MODE_BYTES[mode]
+        except KeyError:
+            raise HeaderError(f"unknown wire mode {mode!r}") from None
+        headers = message.headers()
+        out = bytearray()
+        out += struct.pack(">HBB", _MAGIC, mode_byte, len(headers))
+        if mode_byte == _MODE_PACKED:
+            writer = BitWriter()
+            for owner, header in headers:
+                try:
+                    layer_id, codec = self._by_name[owner]
+                except KeyError:
+                    raise HeaderError(
+                        f"no codec registered for layer {owner!r}"
+                    ) from None
+                writer.write(layer_id, 8)
+                codec.encode_bits(header, writer)
+            blob = writer.getvalue()
+            out += struct.pack(">H", len(blob))
+            out += blob
+        else:
+            for owner, header in headers:
+                try:
+                    layer_id, codec = self._by_name[owner]
+                except KeyError:
+                    raise HeaderError(
+                        f"no codec registered for layer {owner!r}"
+                    ) from None
+                blob = codec.encode(header)
+                out += struct.pack(">BH", layer_id, len(blob))
+                out += blob
+                if mode_byte == _MODE_ALIGNED:
+                    pad = (-(3 + len(blob))) % _WORD
+                    out += b"\x00" * pad
+        body = message.body_bytes()
+        out += struct.pack(">I", len(body))
+        out += body
+        return bytes(out)
+
+    def unmarshal(self, data: bytes) -> Message:
+        """Rebuild a :class:`Message` from wire bytes.
+
+        Raises :class:`HeaderError` on any corruption it can detect;
+        corruption confined to the body passes through silently, which
+        is exactly why the checksum layer exists.
+        """
+        try:
+            magic, mode_byte, n_headers = struct.unpack_from(">HBB", data, 0)
+        except struct.error as exc:
+            raise HeaderError(f"short packet: {exc}") from exc
+        if magic != _MAGIC:
+            raise HeaderError(f"bad magic 0x{magic:04x}")
+        if mode_byte not in (_MODE_ALIGNED, _MODE_COMPACT, _MODE_PACKED):
+            raise HeaderError(f"bad mode byte {mode_byte}")
+        offset = 4
+        message = Message()
+        if mode_byte == _MODE_PACKED:
+            return self._unmarshal_packed(data, offset, n_headers, message)
+        try:
+            for _ in range(n_headers):
+                layer_id, length = struct.unpack_from(">BH", data, offset)
+                offset += 3
+                blob = data[offset : offset + length]
+                if len(blob) != length:
+                    raise HeaderError("truncated header")
+                offset += length
+                if mode_byte == _MODE_ALIGNED:
+                    offset += (-(3 + length)) % _WORD
+                codec = self._by_id.get(layer_id)
+                if codec is None:
+                    raise HeaderError(f"unknown header id {layer_id}")
+                message.push_header(codec.layer, codec.decode(blob))
+            (body_len,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            body = data[offset : offset + body_len]
+            if len(body) != body_len:
+                raise HeaderError("truncated body")
+        except HeaderError:
+            raise
+        except Exception as exc:
+            raise HeaderError(f"corrupt packet: {exc}") from exc
+        message.add_segment(body)
+        return message
+
+    def _unmarshal_packed(
+        self, data: bytes, offset: int, n_headers: int, message: Message
+    ) -> Message:
+        try:
+            (blob_len,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            blob = data[offset : offset + blob_len]
+            if len(blob) != blob_len:
+                raise HeaderError("truncated packed header block")
+            offset += blob_len
+            reader = BitReader(blob)
+            for _ in range(n_headers):
+                layer_id = reader.read(8)
+                codec = self._by_id.get(layer_id)
+                if codec is None:
+                    raise HeaderError(f"unknown header id {layer_id}")
+                message.push_header(codec.layer, codec.decode_bits(reader))
+            (body_len,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            body = data[offset : offset + body_len]
+            if len(body) != body_len:
+                raise HeaderError("truncated body")
+        except HeaderError:
+            raise
+        except Exception as exc:
+            raise HeaderError(f"corrupt packed packet: {exc}") from exc
+        message.add_segment(body)
+        return message
+
+    def header_overhead(self, message: Message, mode: str = "aligned") -> int:
+        """Wire bytes spent on headers (everything except the body)."""
+        return len(self.marshal(message, mode)) - message.body_size - 8
+
+
+def canonical_content(registry: HeaderRegistry, message: Message) -> bytes:
+    """Deterministic byte encoding of a message's headers and body.
+
+    Integrity layers (checksumming, signing) cover everything pushed
+    *above* themselves by encoding the current header stack plus the
+    body through the registered codecs.  Both sides compute the same
+    bytes because codecs are deterministic.
+    """
+    out = bytearray()
+    for owner, header in message.headers():
+        out += owner.encode("utf-8")
+        out += registry.codec_for(owner).encode(header)
+    out += message.body_bytes()
+    return bytes(out)
+
+
+def packed_bit_size(registry: HeaderRegistry, message: Message) -> int:
+    """Bits needed by the paper's proposed precomputed single header.
+
+    At stack-build time Horus would compute one compacted layout from
+    every layer's field declarations; per message the cost is just the
+    sum of the fields' natural bit widths — no per-header tags, lengths,
+    or padding.
+    """
+    total = 0
+    for owner, header in message.headers():
+        total += registry.codec_for(owner).bit_size(header)
+    return total
+
+
+#: The process-wide default registry; layer modules register here at import.
+DEFAULT_REGISTRY = HeaderRegistry()
+
+
+def register(
+    layer: str,
+    fields: Sequence[FieldSpec],
+    defaults: Optional[Dict[str, Any]] = None,
+) -> HeaderCodec:
+    """Shorthand: build a codec and register it on the default registry."""
+    return DEFAULT_REGISTRY.register(HeaderCodec(layer, fields, defaults))

@@ -1,0 +1,176 @@
+"""The protocol-layer abstract data type.
+
+This is the paper's central abstraction: "a protocol as an abstract
+data type: a software module with standardized top and bottom
+interfaces" (Section 1).  Every layer receives :class:`Downcall` events
+from above via :meth:`Layer.down` and :class:`Upcall` events from below
+via :meth:`Layer.up`; the default implementation of each is a pure
+pass-through, so a layer only writes code for the events it transforms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.events import Downcall, Upcall
+from repro.core.headers import DEFAULT_REGISTRY, HeaderRegistry
+from repro.errors import StackError
+from repro.net.address import EndpointAddress, GroupAddress
+from repro.net.network import Network
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class LayerContext:
+    """Everything a layer instance may need from its environment.
+
+    One context is shared by all layers of one (endpoint, group) stack.
+    Layers must reach the outside world only through the context; that
+    is what keeps them composable and testable in isolation.
+    """
+
+    scheduler: Any  # Scheduler-compatible (usually a process-guarded proxy)
+    network: Network
+    endpoint: EndpointAddress
+    group: GroupAddress
+    rng: random.Random
+    trace: TraceRecorder
+    registry: HeaderRegistry = dataclass_field(default_factory=lambda: DEFAULT_REGISTRY)
+    wire_mode: str = "aligned"
+    directory: Any = None  # membership.GroupDirectory, if the world has one
+    process: Any = None  # owning Process, for liveness checks
+    #: Cross-layer blackboard for one stack (e.g. KEYDIST publishes the
+    #: group key source here for a CRYPT layer lower in the stack).
+    shared: Dict[str, Any] = dataclass_field(default_factory=dict)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.scheduler.now
+
+
+class Layer:
+    """Base class for all protocol layers.
+
+    Subclasses override :meth:`handle_down` and/or :meth:`handle_up` for
+    the events they care about and call :meth:`pass_down` /
+    :meth:`pass_up` to forward everything else.  The framework wires
+    ``above`` and ``below`` when the stack is composed.
+
+    Class attributes:
+        name: the layer's registry name (also its header tag).
+    """
+
+    name = "LAYER"
+
+    def __init__(self, context: LayerContext, **config: Any) -> None:
+        self.context = context
+        self.config = config
+        self.above: Optional["Layer"] = None
+        self.below: Optional["Layer"] = None
+        self._timers: List[Any] = []
+        self.stopped = False
+        #: Event counters, reported by the ``dump`` downcall (Table 1).
+        self.counters: Dict[str, int] = {"down": 0, "up": 0}
+
+    # ------------------------------------------------------------------
+    # The HCPI edges
+    # ------------------------------------------------------------------
+
+    def down(self, downcall: Downcall) -> None:
+        """Entry point for downcalls from the layer above."""
+        if self.stopped:
+            return
+        self.counters["down"] += 1
+        self.handle_down(downcall)
+
+    def up(self, upcall: Upcall) -> None:
+        """Entry point for upcalls from the layer below."""
+        if self.stopped:
+            return
+        self.counters["up"] += 1
+        self.handle_up(upcall)
+
+    def handle_down(self, downcall: Downcall) -> None:
+        """Override to process downcalls; default is pass-through."""
+        self.pass_down(downcall)
+
+    def handle_up(self, upcall: Upcall) -> None:
+        """Override to process upcalls; default is pass-through."""
+        self.pass_up(upcall)
+
+    def pass_down(self, downcall: Downcall) -> None:
+        """Forward a downcall to the layer below."""
+        if self.below is None:
+            raise StackError(f"layer {self.name} has nothing below it")
+        self.below.down(downcall)
+
+    def pass_up(self, upcall: Upcall) -> None:
+        """Forward an upcall to the layer above."""
+        if self.above is None:
+            raise StackError(f"layer {self.name} has nothing above it")
+        self.above.up(upcall)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Called once after the stack is fully wired; start timers here."""
+
+    def stop(self) -> None:
+        """Shut the layer down; cancels every timer it created."""
+        self.stopped = True
+        for timer in self._timers:
+            if isinstance(timer, Timer):
+                timer.cancel()
+            else:
+                timer.stop()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+    # Conveniences for subclasses
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.context.now
+
+    @property
+    def endpoint(self) -> EndpointAddress:
+        """This stack's endpoint address."""
+        return self.context.endpoint
+
+    @property
+    def group(self) -> GroupAddress:
+        """This stack's group address."""
+        return self.context.group
+
+    def one_shot(self, interval: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Create a (not yet armed) restartable one-shot timer."""
+        timer = Timer(self.context.scheduler, interval, callback, *args)
+        self._timers.append(timer)
+        return timer
+
+    def periodic(self, period: float, callback: Callable[..., Any], *args: Any) -> PeriodicTimer:
+        """Create a (not yet started) periodic timer."""
+        timer = PeriodicTimer(self.context.scheduler, period, callback, *args)
+        self._timers.append(timer)
+        return timer
+
+    def trace(self, category: str, **detail: Any) -> None:
+        """Record a trace event attributed to this layer's endpoint."""
+        self.context.trace.record(
+            self.now, category, str(self.endpoint), layer=self.name, **detail
+        )
+
+    def dump(self) -> Dict[str, Any]:
+        """Layer introspection for the ``dump`` downcall (Table 1)."""
+        return {"name": self.name, "counters": dict(self.counters)}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} at {self.endpoint}/{self.group}>"

@@ -1,0 +1,161 @@
+"""The Horus message object.
+
+Section 3 of the paper: "The message object is a local storage structure
+optimized for its purpose.  Its interface includes operations to push
+and pop protocol headers, much like a stack. ... A message object can
+contain pointers to data located in the address space of the
+application ... this permits Horus to pass messages up and down a stack
+with no copying of the data."
+
+We reproduce both aspects:
+
+* **Header stack** — layers push a header on the way down and pop their
+  own header on the way up.  Headers are tagged with the owning layer's
+  name so a layer only ever pops what it pushed.
+* **Zero-copy body** — the body is a list of byte segments (an iovec);
+  fragmentation and reassembly slice and concatenate segment *lists*,
+  never the bytes themselves, until the wire boundary flattens them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import MessageError
+
+Header = Dict[str, Any]
+
+
+class Message:
+    """A message travelling through a protocol stack.
+
+    The pushed-header stack grows as the message descends (each layer
+    appends) and shrinks as a received message ascends (each layer pops
+    its own).  The message that is sent is a different object from the
+    message that is delivered (Section 3); :meth:`copy` and the
+    marshalling layer enforce that.
+    """
+
+    __slots__ = ("_headers", "_segments")
+
+    def __init__(self, body: bytes = b"") -> None:
+        self._headers: List[Tuple[str, Header]] = []
+        self._segments: List[bytes] = [body] if body else []
+
+    # ------------------------------------------------------------------
+    # Header stack
+    # ------------------------------------------------------------------
+
+    def push_header(self, layer: str, header: Header) -> None:
+        """Push ``header`` owned by ``layer`` onto the header stack."""
+        self._headers.append((layer, dict(header)))
+
+    def pop_header(self, layer: str) -> Header:
+        """Pop the top header, which must belong to ``layer``.
+
+        Raises :class:`MessageError` on an empty stack or an ownership
+        mismatch — both indicate a mis-stacked protocol, the exact bug
+        class the common interface exists to prevent.
+        """
+        if not self._headers:
+            raise MessageError(f"layer {layer!r} popped an empty header stack")
+        owner, header = self._headers[-1]
+        if owner != layer:
+            raise MessageError(
+                f"layer {layer!r} tried to pop header owned by {owner!r}"
+            )
+        self._headers.pop()
+        return header
+
+    def peek_header(self, layer: Optional[str] = None) -> Optional[Header]:
+        """Return the top header without popping.
+
+        With ``layer`` given, returns ``None`` unless the top header is
+        owned by that layer; without it, returns whatever is on top (or
+        ``None`` when the stack is empty).
+        """
+        if not self._headers:
+            return None
+        owner, header = self._headers[-1]
+        if layer is not None and owner != layer:
+            return None
+        return header
+
+    def top_owner(self) -> Optional[str]:
+        """Name of the layer owning the top header, or ``None``."""
+        if not self._headers:
+            return None
+        return self._headers[-1][0]
+
+    @property
+    def header_depth(self) -> int:
+        """Number of headers currently pushed."""
+        return len(self._headers)
+
+    def headers(self) -> List[Tuple[str, Header]]:
+        """A snapshot of the header stack, bottom-of-stack first."""
+        return [(owner, dict(h)) for owner, h in self._headers]
+
+    # ------------------------------------------------------------------
+    # Body segments (iovec)
+    # ------------------------------------------------------------------
+
+    def add_segment(self, data: bytes) -> None:
+        """Append a body segment without copying existing segments."""
+        if data:
+            self._segments.append(data)
+
+    @property
+    def segments(self) -> List[bytes]:
+        """The body's segment list (do not mutate)."""
+        return self._segments
+
+    @property
+    def body_size(self) -> int:
+        """Total body size in bytes, without flattening."""
+        return sum(len(s) for s in self._segments)
+
+    def body_bytes(self) -> bytes:
+        """Flatten the body to one byte string (the only copying point)."""
+        if len(self._segments) == 1:
+            return self._segments[0]
+        return b"".join(self._segments)
+
+    def slice_body(self, start: int, end: int) -> List[bytes]:
+        """Return the segments covering ``[start, end)`` of the body.
+
+        Used by the fragmentation layers: slicing yields (at most two
+        partial and many whole) segment references, not a copied blob.
+        """
+        if start < 0 or end < start:
+            raise MessageError(f"bad body slice [{start}, {end})")
+        out: List[bytes] = []
+        offset = 0
+        for seg in self._segments:
+            seg_end = offset + len(seg)
+            lo = max(start, offset)
+            hi = min(end, seg_end)
+            if lo < hi:
+                if lo == offset and hi == seg_end:
+                    out.append(seg)
+                else:
+                    out.append(seg[lo - offset : hi - offset])
+            offset = seg_end
+            if offset >= end:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Message":
+        """Deep-copy headers, share body segments (bytes are immutable)."""
+        clone = Message()
+        clone._headers = [(owner, dict(h)) for owner, h in self._headers]
+        clone._segments = list(self._segments)
+        return clone
+
+    def __repr__(self) -> str:
+        owners = [owner for owner, _ in self._headers]
+        return f"<Message headers={owners} body={self.body_size}B>"

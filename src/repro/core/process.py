@@ -1,0 +1,260 @@
+"""Simulated processes and the world that contains them.
+
+A :class:`Process` models one OS process on one machine: it owns
+endpoints, can crash fail-stop, and (key detail) all of its timers and
+queued events die with it — a crashed process never executes another
+instruction, which the :class:`GuardedScheduler` enforces.
+
+The :class:`World` bundles the scheduler, network, directory, trace
+recorder, and randomness for one simulation run, and is the single
+entry point applications and tests use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.core.endpoint import Endpoint
+from repro.core.headers import DEFAULT_REGISTRY, HeaderRegistry
+from repro.errors import ConfigurationError, SimulationError
+from repro.membership.directory import GroupDirectory
+from repro.net.address import EndpointAddress
+from repro.net.atm import AtmNetwork
+from repro.net.lan import LanNetwork
+from repro.net.network import Network
+from repro.net.udp import UdpNetwork
+from repro.sim.rand import RandomRouter
+from repro.sim.scheduler import EventHandle, Scheduler
+from repro.sim.trace import TraceRecorder
+
+_NETWORK_KINDS = {
+    "lan": LanNetwork,
+    "udp": UdpNetwork,
+    "atm": AtmNetwork,
+    "plain": Network,
+}
+
+
+class GuardedScheduler:
+    """A scheduler facade that silently drops events of a dead process.
+
+    Layers schedule through this object; after the owning process
+    crashes, armed timers and queued continuations become no-ops, which
+    is exactly fail-stop semantics.
+    """
+
+    def __init__(self, scheduler: Scheduler, process: "Process") -> None:
+        self._scheduler = scheduler
+        self._process = process
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._scheduler.now
+
+    def _guard(self, fn: Callable[..., Any], args: tuple) -> Callable[[], None]:
+        process = self._process
+
+        def run() -> None:
+            if process.alive:
+                fn(*args)
+
+        return run
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Guarded :meth:`Scheduler.call_at`."""
+        return self._scheduler.call_at(when, self._guard(fn, args))
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Guarded :meth:`Scheduler.call_after`."""
+        return self._scheduler.call_after(delay, self._guard(fn, args))
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Guarded :meth:`Scheduler.call_soon`."""
+        return self._scheduler.call_soon(self._guard(fn, args))
+
+
+class Process:
+    """A simulated process: endpoints plus fail-stop crash semantics.
+
+    Each process has its own wall clock with configurable drift and
+    offset (real machines' clocks disagree — the reason Figure 1 lists
+    clock synchronization as a protocol type).  Protocol timers use the
+    scheduler's virtual time; applications read :meth:`local_time`.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        name: str,
+        clock_drift: float = 0.0,
+        clock_offset: float = 0.0,
+    ) -> None:
+        self.world = world
+        self.name = name
+        self.alive = True
+        #: Relative clock rate error (0.001 = running 0.1% fast).
+        self.clock_drift = clock_drift
+        #: Fixed clock error in seconds at simulation start.
+        self.clock_offset = clock_offset
+        self.guarded_scheduler = GuardedScheduler(world.scheduler, self)
+        self._endpoints: List[Endpoint] = []
+        self._next_port = 0
+
+    def local_time(self) -> float:
+        """This process's wall-clock reading (drifted and offset)."""
+        return self.world.scheduler.now * (1.0 + self.clock_drift) + self.clock_offset
+
+    def endpoint(self) -> Endpoint:
+        """Create a new endpoint on this process (ports auto-assigned)."""
+        if not self.alive:
+            raise SimulationError(f"process {self.name} has crashed")
+        address = EndpointAddress(node=self.name, port=self._next_port)
+        self._next_port += 1
+        endpoint = Endpoint(self, address)
+        self._endpoints.append(endpoint)
+        return endpoint
+
+    @property
+    def endpoints(self) -> List[Endpoint]:
+        """All endpoints created on this process."""
+        return list(self._endpoints)
+
+    def crash(self) -> None:
+        """Fail-stop: no more sends, receives, timers, or events.  Ever.
+
+        The rest of the system only finds out through silence — this is
+        what the failure detectors and the flush protocol exist for.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.world.network.crash_node(self.name)
+        for endpoint in self._endpoints:
+            for stack in endpoint._stacks.values():
+                stack.stop()
+        self.world.trace.record(
+            self.world.scheduler.now, "crash", self.name
+        )
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "crashed"
+        return f"<Process {self.name} ({state}) endpoints={len(self._endpoints)}>"
+
+
+class World:
+    """One simulation universe: scheduler + network + directory + processes.
+
+    >>> world = World(seed=7, network="lan")
+    >>> a = world.process("a").endpoint()
+    >>> b = world.process("b").endpoint()
+    >>> ga = a.join("demo")
+    >>> gb = b.join("demo")
+    >>> world.run(2.0)
+    >>> ga.cast(b"hello")
+    >>> world.run(1.0)
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        network: Union[str, Network] = "lan",
+        wire_mode: str = "aligned",
+        trace: bool = True,
+        registry: Optional[HeaderRegistry] = None,
+        **network_kwargs: Any,
+    ) -> None:
+        self.scheduler = Scheduler()
+        self.rng = RandomRouter(seed)
+        self.trace = TraceRecorder(enabled=trace)
+        self.directory = GroupDirectory()
+        self.registry = registry or DEFAULT_REGISTRY
+        if wire_mode not in ("aligned", "compact", "packed"):
+            raise ConfigurationError(f"unknown wire mode {wire_mode!r}")
+        self.wire_mode = wire_mode
+        if isinstance(network, Network):
+            if network_kwargs:
+                raise ConfigurationError(
+                    "network_kwargs only apply when building the network by name"
+                )
+            self.network = network
+        else:
+            try:
+                net_cls = _NETWORK_KINDS[network]
+            except KeyError:
+                known = ", ".join(sorted(_NETWORK_KINDS))
+                raise ConfigurationError(
+                    f"unknown network kind {network!r}; known kinds: {known}"
+                ) from None
+            self.network = net_cls(
+                self.scheduler, rng=self.rng.stream("network"), **network_kwargs
+            )
+        self._processes: Dict[str, Process] = {}
+
+    # -- process management ----------------------------------------------
+
+    def process(
+        self,
+        name: str,
+        clock_drift: float = 0.0,
+        clock_offset: float = 0.0,
+    ) -> Process:
+        """Create (or fetch) the process called ``name``.
+
+        Clock parameters only apply on creation; fetching an existing
+        process ignores them.
+        """
+        proc = self._processes.get(name)
+        if proc is None:
+            proc = Process(
+                self, name, clock_drift=clock_drift, clock_offset=clock_offset
+            )
+            self._processes[name] = proc
+        return proc
+
+    def processes(self) -> Dict[str, Process]:
+        """Snapshot of all processes by name."""
+        return dict(self._processes)
+
+    # -- fault injection ---------------------------------------------------
+
+    def crash(self, name: str) -> None:
+        """Crash the named process fail-stop."""
+        self.process(name).crash()
+
+    def partition(self, *components: Iterable[str]) -> None:
+        """Split the network into node-name components."""
+        self.network.partitions.partition(components)
+        self.trace.record(self.scheduler.now, "partition", "world",
+                          components=[sorted(c) for c in components])
+
+    def heal(self) -> None:
+        """Remove all network partitions."""
+        self.network.partitions.heal()
+        self.trace.record(self.scheduler.now, "heal", "world")
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, duration: float) -> int:
+        """Advance virtual time by ``duration`` seconds."""
+        return self.scheduler.run(until=self.scheduler.now + duration)
+
+    def run_until(self, deadline: float) -> int:
+        """Advance virtual time up to the absolute ``deadline``."""
+        return self.scheduler.run(until=deadline)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (periodic timers never let this end;
+        prefer :meth:`run` for stacks with heartbeats)."""
+        return self.scheduler.run_until_idle(max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.scheduler.now
+
+    def __repr__(self) -> str:
+        return (
+            f"<World t={self.now:.3f} processes={len(self._processes)} "
+            f"network={type(self.network).__name__}>"
+        )

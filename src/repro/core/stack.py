@@ -1,0 +1,346 @@
+"""Run-time protocol stack composition.
+
+Figure 1 of the paper: "Protocol layers can be stacked at run-time like
+LEGO blocks."  A stack is described by a spec string such as
+``"TOTAL:MBRSHIP:FRAG:NAK:COM"`` (top to bottom, the paper's notation
+from Section 7), parsed and instantiated when an endpoint joins a
+group.  Per-layer parameters can be supplied inline:
+``"FRAG(max_size=512):NAK(window=64):COM"``.
+
+The module also implements the two dispatch disciplines discussed in
+Section 10: direct procedure calls across layer boundaries (fast, the
+production default) and the event-queue model (each boundary crossing
+is a queued event) so the overhead of each can be compared.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Type
+
+from repro.core.events import Downcall, Upcall
+from repro.core.layer import Layer, LayerContext
+from repro.errors import StackError
+
+# ----------------------------------------------------------------------
+# Layer class registry
+# ----------------------------------------------------------------------
+
+_LAYER_CLASSES: Dict[str, Type[Layer]] = {}
+
+
+def register_layer(cls: Type[Layer]) -> Type[Layer]:
+    """Class decorator: make ``cls`` available to stack specs by name."""
+    name = cls.name
+    if name in _LAYER_CLASSES:
+        raise StackError(f"layer name {name!r} registered twice")
+    _LAYER_CLASSES[name] = cls
+    return cls
+
+
+def layer_class(name: str) -> Type[Layer]:
+    """Look up a registered layer class (importing the library lazily)."""
+    _ensure_library_loaded()
+    try:
+        return _LAYER_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(_LAYER_CLASSES))
+        raise StackError(f"unknown layer {name!r}; known layers: {known}") from None
+
+
+def known_layers() -> List[str]:
+    """Names of every registered layer class."""
+    _ensure_library_loaded()
+    return sorted(_LAYER_CLASSES)
+
+
+def _ensure_library_loaded() -> None:
+    """Import the layer library so its modules self-register."""
+    import repro.layers  # noqa: F401  (import for side effect)
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+
+LayerSpec = Tuple[str, Dict[str, Any]]
+
+
+def parse_stack_spec(spec: str) -> List[LayerSpec]:
+    """Parse ``"TOTAL:MBRSHIP:FRAG(max_size=512):NAK:COM"``.
+
+    Returns ``[(name, kwargs), ...]`` ordered top to bottom.  Values in
+    parentheses are parsed as Python literals (ints, floats, strings,
+    booleans).
+    """
+    layers: List[LayerSpec] = []
+    for part in _split_spec(spec):
+        part = part.strip()
+        if not part:
+            raise StackError(f"empty layer in spec {spec!r}")
+        if "(" in part:
+            if not part.endswith(")"):
+                raise StackError(f"unbalanced parentheses in {part!r}")
+            name, _, arg_text = part[:-1].partition("(")
+            kwargs = _parse_kwargs(arg_text, part)
+        else:
+            name, kwargs = part, {}
+        layers.append((name.strip(), kwargs))
+    if not layers:
+        raise StackError("stack spec is empty")
+    return layers
+
+
+def _split_spec(spec: str) -> List[str]:
+    """Split on ``:`` while respecting parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in spec:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise StackError(f"unbalanced parentheses in {spec!r}")
+        if ch == ":" and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_kwargs(arg_text: str, context: str) -> Dict[str, Any]:
+    """Parse ``a=1, b='x'`` into a kwargs dict."""
+    kwargs: Dict[str, Any] = {}
+    arg_text = arg_text.strip()
+    if not arg_text:
+        return kwargs
+    for item in arg_text.split(","):
+        key, eq, raw = item.partition("=")
+        if not eq:
+            raise StackError(f"bad layer argument {item!r} in {context!r}")
+        kwargs[key.strip()] = _parse_literal(raw.strip())
+    return kwargs
+
+
+def _parse_literal(raw: str):
+    """Parse one literal value: bool, int, float, or (quoted) string."""
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "'\"":
+        return raw[1:-1]
+    return raw
+
+
+def format_stack_spec(layers: List[LayerSpec]) -> str:
+    """Inverse of :func:`parse_stack_spec` (kwargs included)."""
+    parts = []
+    for name, kwargs in layers:
+        if kwargs:
+            args = ",".join(f"{k}={v!r}" for k, v in sorted(kwargs.items()))
+            parts.append(f"{name}({args})")
+        else:
+            parts.append(name)
+    return ":".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Edges and queued dispatch
+# ----------------------------------------------------------------------
+
+
+class _TopEdge:
+    """Sits above the top layer; hands upcalls to the application."""
+
+    def __init__(self, deliver: Callable[[Upcall], None]) -> None:
+        self._deliver = deliver
+
+    def up(self, upcall: Upcall) -> None:
+        self._deliver(upcall)
+
+
+class _BottomEdge:
+    """Sits below the bottom layer; reaching it is a composition bug."""
+
+    @staticmethod
+    def down(downcall: Downcall) -> None:
+        raise StackError(
+            f"downcall {downcall.type.name} fell off the bottom of the stack; "
+            "is a COM (network adapter) layer missing?"
+        )
+
+
+class EventPump:
+    """FIFO of pending boundary crossings for the queued-dispatch mode.
+
+    Rather than calling the next layer directly, a boundary crossing
+    appends a thunk here; a single scheduler event drains the queue.
+    This serializes all work per stack (the paper's event-queue model)
+    at the price of one queue operation per boundary.
+    """
+
+    def __init__(self, scheduler: Any) -> None:
+        self._scheduler = scheduler
+        self._queue: Deque[Tuple[Callable[..., None], Any]] = deque()
+        self._scheduled = False
+
+    def post(self, fn: Callable[..., None], event: Any) -> None:
+        """Enqueue one crossing and ensure a drain is scheduled."""
+        self._queue.append((fn, event))
+        if not self._scheduled:
+            self._scheduled = True
+            self._scheduler.call_soon(self._drain)
+
+    def _drain(self) -> None:
+        self._scheduled = False
+        while self._queue:
+            fn, event = self._queue.popleft()
+            fn(event)
+
+
+class _QueuedRef:
+    """Stands in for a neighbouring layer, routing calls via the pump."""
+
+    def __init__(self, pump: EventPump, target: Any) -> None:
+        self._pump = pump
+        self._target = target
+
+    def down(self, downcall: Downcall) -> None:
+        self._pump.post(self._target.down, downcall)
+
+    def up(self, upcall: Upcall) -> None:
+        self._pump.post(self._target.up, upcall)
+
+
+# ----------------------------------------------------------------------
+# The stack itself
+# ----------------------------------------------------------------------
+
+
+class Stack:
+    """A fully wired protocol stack for one (endpoint, group) pair.
+
+    Build one with :func:`build_stack`.  The application (in practice
+    the :class:`~repro.core.group.GroupHandle`) calls :meth:`down` and
+    receives upcalls through the ``deliver`` callback it supplied.
+    """
+
+    def __init__(
+        self,
+        layers: List[Layer],
+        context: LayerContext,
+        deliver: Callable[[Upcall], None],
+        dispatch: str = "direct",
+    ) -> None:
+        if not layers:
+            raise StackError("a stack needs at least one layer")
+        if dispatch not in ("direct", "queued"):
+            raise StackError(f"unknown dispatch mode {dispatch!r}")
+        self.layers = layers  # index 0 = top
+        self.context = context
+        self.dispatch = dispatch
+        self._top_edge = _TopEdge(deliver)
+        self._bottom_edge = _BottomEdge()
+        self._pump = EventPump(context.scheduler) if dispatch == "queued" else None
+        self._wire()
+        self.started = False
+
+    def _wire(self) -> None:
+        """Connect ``above``/``below`` references, possibly via the pump."""
+        for i, layer in enumerate(self.layers):
+            above = self._top_edge if i == 0 else self.layers[i - 1]
+            below = (
+                self._bottom_edge if i == len(self.layers) - 1 else self.layers[i + 1]
+            )
+            if self._pump is not None:
+                if above is not self._top_edge:
+                    above = _QueuedRef(self._pump, above)
+                if below is not self._bottom_edge:
+                    below = _QueuedRef(self._pump, below)
+            layer.above = above  # type: ignore[assignment]
+            layer.below = below  # type: ignore[assignment]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start layers bottom-up so lower services exist first."""
+        if self.started:
+            return
+        self.started = True
+        for layer in reversed(self.layers):
+            layer.start()
+
+    def stop(self) -> None:
+        """Stop layers top-down; idempotent."""
+        for layer in self.layers:
+            layer.stop()
+
+    # -- application edge --------------------------------------------------
+
+    def down(self, downcall: Downcall) -> None:
+        """Inject a downcall at the top of the stack."""
+        self.layers[0].down(downcall)
+
+    def deliver_from_network(self, upcall: Upcall) -> None:
+        """Inject an upcall at the bottom (used only by the COM layer)."""
+        self.layers[-1].up(upcall)
+
+    # -- introspection (Table 1: focus, dump) ------------------------------
+
+    def focus(self, name: str) -> Layer:
+        """Return the (topmost) layer instance with the given name."""
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise StackError(f"no layer named {name!r} in this stack")
+
+    def has_layer(self, name: str) -> bool:
+        """Whether a layer with this name is in the stack."""
+        return any(layer.name == name for layer in self.layers)
+
+    def dump(self) -> List[Dict[str, Any]]:
+        """Per-layer introspection blobs, top first."""
+        return [layer.dump() for layer in self.layers]
+
+    def spec(self) -> str:
+        """The spec string this stack corresponds to (names only)."""
+        return ":".join(layer.name for layer in self.layers)
+
+    def __repr__(self) -> str:
+        return f"<Stack {self.spec()} for {self.context.endpoint}/{self.context.group}>"
+
+
+def build_stack(
+    spec: str,
+    context: LayerContext,
+    deliver: Callable[[Upcall], None],
+    dispatch: str = "direct",
+    overrides: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> Stack:
+    """Instantiate a stack from a spec string.
+
+    ``overrides`` maps layer names to extra constructor kwargs, merged
+    over any inline arguments in the spec (programmatic configuration
+    wins over the spec string).
+    """
+    parsed = parse_stack_spec(spec)
+    layers: List[Layer] = []
+    for name, kwargs in parsed:
+        cls = layer_class(name)
+        merged = dict(kwargs)
+        if overrides and name in overrides:
+            merged.update(overrides[name])
+        layers.append(cls(context, **merged))
+    return Stack(layers, context, deliver, dispatch=dispatch)

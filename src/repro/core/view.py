@@ -1,0 +1,141 @@
+"""Views and view identifiers.
+
+A *view* is an ordered list of endpoint addresses — the membership a
+group believes in at some logical moment (Section 3).  Member order
+encodes *age*: survivors keep their relative order across view changes
+and new members are appended, so "the oldest surviving member of the
+oldest view" (the paper's message-free coordinator election, Section 5)
+is simply the first member of the current view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import NotInViewError
+from repro.net.address import EndpointAddress, GroupAddress
+
+
+@dataclass(frozen=True, order=True)
+class ViewId:
+    """Identifies a view: a logical epoch plus the installing coordinator.
+
+    Epochs increase monotonically along every endpoint's view history;
+    when views merge, the merged view's epoch exceeds both inputs'.
+    The ordering (epoch first, coordinator as tie-break) is total, which
+    the merge logic uses to decide which side of a merge is "older".
+    """
+
+    epoch: int
+    coordinator: EndpointAddress
+
+    def __str__(self) -> str:
+        return f"v{self.epoch}@{self.coordinator}"
+
+
+@dataclass(frozen=True)
+class View:
+    """An immutable group view.
+
+    Attributes:
+        group: the group this view belongs to.
+        view_id: the view's identity.
+        members: age-ordered member addresses; ``members[0]`` is the
+            coordinator ("oldest surviving member of the oldest view").
+    """
+
+    group: GroupAddress
+    view_id: ViewId
+    members: Tuple[EndpointAddress, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate members in view: {self.members}")
+
+    @property
+    def coordinator(self) -> EndpointAddress:
+        """The member elected coordinator — no messages needed."""
+        if not self.members:
+            raise NotInViewError(f"view {self.view_id} is empty")
+        return self.members[0]
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.members)
+
+    def rank_of(self, member: EndpointAddress) -> int:
+        """Age rank of ``member`` (0 = oldest).  Raises if absent."""
+        try:
+            return self.members.index(member)
+        except ValueError:
+            raise NotInViewError(f"{member} not in view {self.view_id}") from None
+
+    def contains(self, member: EndpointAddress) -> bool:
+        """Whether ``member`` is in this view."""
+        return member in self.members
+
+    def is_coordinator(self, member: EndpointAddress) -> bool:
+        """Whether ``member`` would coordinate flushes in this view."""
+        return bool(self.members) and self.members[0] == member
+
+    def next_view(
+        self,
+        survivors: Iterable[EndpointAddress],
+        joiners: Iterable[EndpointAddress] = (),
+    ) -> "View":
+        """Construct the successor view.
+
+        Survivors keep their age order; joiners are appended in sorted
+        order (deterministic, so every member computes the same view).
+        The new epoch is one past this view's.
+        """
+        survivor_set = set(survivors)
+        kept = [m for m in self.members if m in survivor_set]
+        new_members = kept + sorted(set(joiners) - set(kept))
+        if not new_members:
+            raise NotInViewError("successor view would be empty")
+        vid = ViewId(epoch=self.view_id.epoch + 1, coordinator=new_members[0])
+        return View(group=self.group, view_id=vid, members=tuple(new_members))
+
+    @classmethod
+    def initial(cls, group: GroupAddress, member: EndpointAddress) -> "View":
+        """The singleton view a lone joiner installs for itself."""
+        return cls(
+            group=group,
+            view_id=ViewId(epoch=1, coordinator=member),
+            members=(member,),
+        )
+
+    @classmethod
+    def merged(
+        cls,
+        older: "View",
+        younger: "View",
+        alive: Optional[Iterable[EndpointAddress]] = None,
+    ) -> "View":
+        """Merge two views after a partition heals.
+
+        The older view's members come first (preserving their age order)
+        so its coordinator keeps coordinating; the younger view's
+        members are appended.  ``alive`` optionally restricts the result
+        to currently live members.
+        """
+        members: List[EndpointAddress] = list(older.members)
+        members += [m for m in younger.members if m not in older.members]
+        if alive is not None:
+            alive_set = set(alive)
+            members = [m for m in members if m in alive_set]
+        epoch = max(older.view_id.epoch, younger.view_id.epoch) + 1
+        if not members:
+            raise NotInViewError("merged view would be empty")
+        vid = ViewId(epoch=epoch, coordinator=members[0])
+        return cls(group=older.group, view_id=vid, members=tuple(members))
+
+    def __str__(self) -> str:
+        names = ",".join(str(m) for m in self.members)
+        return f"{self.group}/{self.view_id}[{names}]"
+
+    def __repr__(self) -> str:
+        return f"<View {self}>"

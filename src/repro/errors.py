@@ -1,0 +1,96 @@
+"""Exception hierarchy for the Horus reproduction.
+
+All library-raised exceptions derive from :class:`HorusError` so that
+applications can catch everything from this package with one handler, as
+well as distinguish configuration mistakes (typically programming errors
+caught during stack construction) from runtime protocol conditions.
+"""
+
+from __future__ import annotations
+
+
+class HorusError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(HorusError):
+    """A stack, layer, or network was configured inconsistently."""
+
+
+class StackError(ConfigurationError):
+    """A protocol stack could not be composed as requested."""
+
+
+class PropertyError(ConfigurationError):
+    """A property-algebra operation failed (unknown layer or property)."""
+
+
+class IllFormedStackError(StackError):
+    """A stack violates the Requires/Provides rules of Table 3.
+
+    Raised by the well-formedness checker when some layer's required
+    property is neither provided nor inherited by the stack beneath it.
+    """
+
+    def __init__(self, message: str, missing=None):
+        super().__init__(message)
+        #: Mapping of layer name to the set of properties it was missing.
+        self.missing = dict(missing or {})
+
+
+class SynthesisError(PropertyError):
+    """No stack satisfying the requested properties could be found."""
+
+
+class MessageError(HorusError):
+    """A message object was used incorrectly (e.g. popping an empty stack)."""
+
+
+class HeaderError(MessageError):
+    """A header could not be encoded or decoded."""
+
+
+class EndpointError(HorusError):
+    """An endpoint operation was invalid (e.g. using a destroyed endpoint)."""
+
+
+class GroupError(HorusError):
+    """A group operation was invalid (e.g. casting before a view arrived)."""
+
+
+class NotInViewError(GroupError):
+    """The target endpoint is not a member of the current view."""
+
+
+class MergeDeniedError(GroupError):
+    """A merge request was denied by the contacted coordinator."""
+
+
+class NetworkError(HorusError):
+    """A simulated-network operation failed."""
+
+
+class AddressError(NetworkError):
+    """An address was malformed or unknown to the network."""
+
+
+class PacketTooLargeError(NetworkError):
+    """A packet exceeded the network's maximum transmission unit."""
+
+    def __init__(self, size: int, mtu: int):
+        super().__init__(f"packet of {size} bytes exceeds MTU of {mtu} bytes")
+        self.size = size
+        self.mtu = mtu
+
+
+class SimulationError(HorusError):
+    """The discrete-event simulation kernel was misused."""
+
+
+class VerificationError(HorusError):
+    """An executable specification (repro.verify) found a violation."""
+
+    def __init__(self, message: str, violations=None):
+        super().__init__(message)
+        #: List of human-readable violation descriptions.
+        self.violations = list(violations or [])

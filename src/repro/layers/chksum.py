@@ -1,0 +1,71 @@
+"""CHKSUM — checksumming for garbling detection (Figure 1, Section 2).
+
+"A simple protocol that adds a (large enough) checksum to each message
+could be used to reduce the garbling problem to a statistically
+insignificant rate.  Such a protocol has functionality on both the
+sending side, where it adds the checksum, and on the receive side,
+where it drops the message if the checksum does not match the contents
+of the message."
+
+The checksum covers everything the layer can see: the body plus every
+header pushed above it (canonically encoded).  Stack it directly above
+COM so as much of the packet as possible is protected.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core import headers as hdr
+from repro.core.events import Downcall, DowncallType, Upcall, UpcallType
+from repro.core.headers import canonical_content
+from repro.core.layer import Layer
+from repro.core.stack import register_layer
+
+hdr.register("CHKSUM", fields=[("sum", hdr.U32)])
+
+
+@register_layer
+class ChecksumLayer(Layer):
+    """CRC-32 over headers-above plus body; mismatches are dropped."""
+
+    name = "CHKSUM"
+
+    def __init__(self, context, **config) -> None:
+        super().__init__(context, **config)
+        self.garbled_dropped = 0
+        self.verified = 0
+
+    def handle_down(self, downcall: Downcall) -> None:
+        if (
+            downcall.type in (DowncallType.CAST, DowncallType.SEND)
+            and downcall.message is not None
+        ):
+            content = canonical_content(self.context.registry, downcall.message)
+            downcall.message.push_header(
+                self.name, {"sum": zlib.crc32(content) & 0xFFFFFFFF}
+            )
+        self.pass_down(downcall)
+
+    def handle_up(self, upcall: Upcall) -> None:
+        message = upcall.message
+        if (
+            upcall.type not in (UpcallType.CAST, UpcallType.SEND)
+            or message is None
+            or message.peek_header(self.name) is None
+        ):
+            self.pass_up(upcall)
+            return
+        header = message.pop_header(self.name)
+        content = canonical_content(self.context.registry, message)
+        if zlib.crc32(content) & 0xFFFFFFFF != header["sum"]:
+            self.garbled_dropped += 1
+            self.trace("garbled_dropped", source=str(upcall.source))
+            return  # "drops the message if the checksum does not match"
+        self.verified += 1
+        self.pass_up(upcall)
+
+    def dump(self):
+        info = super().dump()
+        info.update(garbled_dropped=self.garbled_dropped, verified=self.verified)
+        return info

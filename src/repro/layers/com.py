@@ -1,0 +1,187 @@
+"""COM — the bottom-most layer: network ↔ HCPI adapter.
+
+Section 7: "The COM layer translates the low-level network interface
+into the Common Protocol Interface.  If necessary, COM keeps track of
+the source of messages (by pushing the address of the source endpoint
+on each outgoing message), and filters out spurious messages from
+endpoints not in its view."
+
+Properties (Table 3): requires P1 from the network; provides P10 (byte
+re-ordering detection — the wire format is self-describing, so a
+reassembled/NAK layer above can trust field boundaries) and P11 (source
+address).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import headers as hdr
+from repro.core.events import Downcall, DowncallType, Upcall, UpcallType
+from repro.core.layer import Layer
+from repro.core.message import Message
+from repro.core.stack import register_layer
+from repro.core.view import View, ViewId
+from repro.errors import MessageError
+from repro.net.address import EndpointAddress
+
+_KIND_CAST = 0
+_KIND_SEND = 1
+
+hdr.register(
+    "COM",
+    fields=[
+        ("group", hdr.GROUP),
+        ("source", hdr.ADDRESS),
+        ("kind", hdr.U8),
+    ],
+)
+
+
+@register_layer
+class ComLayer(Layer):
+    """Bottom adapter between the stack and a simulated network.
+
+    Config:
+        filter_sources (bool): drop incoming messages whose source is
+            not in the installed destination view (default ``False`` —
+            membership layers do their own, stronger filtering).
+    """
+
+    name = "COM"
+
+    def __init__(self, context, **config) -> None:
+        super().__init__(context, **config)
+        self.filter_sources = bool(config.get("filter_sources", False))
+        #: Current destination set for casts (the "view" at this level).
+        self.dests: List[EndpointAddress] = []
+        #: Spurious messages dropped by the source filter.
+        self.filtered = 0
+        #: Messages sent/received, for the dump downcall.
+        self.casts_sent = 0
+        self.sends_sent = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    # Downcalls
+    # ------------------------------------------------------------------
+
+    def handle_down(self, downcall: Downcall) -> None:
+        dtype = downcall.type
+        if dtype is DowncallType.CAST:
+            self._cast(downcall.message)
+        elif dtype is DowncallType.SEND:
+            self._send(downcall.message, downcall.members or [])
+        elif dtype is DowncallType.JOIN:
+            self._join()
+        elif dtype is DowncallType.VIEW:
+            if downcall.members is not None:
+                self.dests = list(downcall.members)
+        elif dtype is DowncallType.LEAVE:
+            self._leave()
+        elif dtype is DowncallType.DESTROY:
+            self.stop()
+        # ACK, STABLE, FLUSH, FLUSH_OK, MERGE and friends terminate
+        # here: with nothing below, there is nobody left to tell.
+
+    def _join(self) -> None:
+        directory = self.context.directory
+        if directory is not None:
+            directory.register(self.group, self.endpoint)
+            snapshot = directory.lookup(self.group)
+        else:
+            snapshot = [self.endpoint]
+        self.dests = list(snapshot)
+        # Report initial connectivity.  At this level a view "is nothing
+        # but the set of destination endpoints" (Section 7) — epoch 0
+        # marks it as connectivity, not agreed membership.
+        view = View(
+            group=self.group,
+            view_id=ViewId(epoch=0, coordinator=snapshot[0]),
+            members=tuple(snapshot),
+        )
+        self.pass_up(Upcall(UpcallType.VIEW, view=view, members=list(snapshot)))
+
+    def _leave(self) -> None:
+        directory = self.context.directory
+        if directory is not None:
+            directory.unregister(self.group, self.endpoint)
+        self.pass_up(Upcall(UpcallType.EXIT))
+
+    def _cast(self, message: Optional[Message]) -> None:
+        if message is None:
+            return
+        message.push_header(
+            self.name,
+            {"group": self.group, "source": self.endpoint, "kind": _KIND_CAST},
+        )
+        data = self.context.registry.marshal(message, self.context.wire_mode)
+        self.casts_sent += 1
+        remote = [d for d in self.dests if d != self.endpoint]
+        if self.endpoint in self.dests:
+            # A member delivers its own casts (loopback never hits the
+            # wire, but takes the same unmarshal path for fidelity).
+            self.context.scheduler.call_soon(self._loopback, data)
+        if remote and self._alive():
+            self.context.network.multicast(self.endpoint, remote, data)
+
+    def _send(self, message: Optional[Message], members: List[EndpointAddress]) -> None:
+        if message is None or not members:
+            return
+        message.push_header(
+            self.name,
+            {"group": self.group, "source": self.endpoint, "kind": _KIND_SEND},
+        )
+        data = self.context.registry.marshal(message, self.context.wire_mode)
+        self.sends_sent += 1
+        for member in members:
+            if member == self.endpoint:
+                self.context.scheduler.call_soon(self._loopback, data)
+            elif self._alive():
+                self.context.network.unicast(self.endpoint, member, data)
+
+    def _loopback(self, data: bytes) -> None:
+        message = self.context.registry.unmarshal(data)
+        self._receive(message)
+
+    def _alive(self) -> bool:
+        process = self.context.process
+        return process is None or process.alive
+
+    # ------------------------------------------------------------------
+    # Upcalls (messages handed in by the endpoint demultiplexer)
+    # ------------------------------------------------------------------
+
+    def handle_up(self, upcall: Upcall) -> None:
+        if upcall.message is None:
+            self.pass_up(upcall)
+            return
+        self._receive(upcall.message)
+
+    def _receive(self, message: Message) -> None:
+        try:
+            header = message.pop_header(self.name)
+        except MessageError:
+            # Not ours — garbled or mis-stacked; drop rather than crash.
+            self.filtered += 1
+            return
+        source = header["source"]
+        if self.filter_sources and source not in self.dests:
+            self.filtered += 1
+            return
+        self.delivered += 1
+        if header["kind"] == _KIND_CAST:
+            self.pass_up(Upcall(UpcallType.CAST, message=message, source=source))
+        else:
+            self.pass_up(Upcall(UpcallType.SEND, message=message, source=source))
+
+    def dump(self):
+        info = super().dump()
+        info.update(
+            dests=[str(d) for d in self.dests],
+            casts_sent=self.casts_sent,
+            sends_sent=self.sends_sent,
+            delivered=self.delivered,
+            filtered=self.filtered,
+        )
+        return info

@@ -1,0 +1,95 @@
+"""FLOW — flow control "preventing network congestion" (Figure 1).
+
+A token-bucket pacer on outgoing casts and sends: up to ``burst``
+messages may leave back-to-back; sustained throughput is capped at
+``rate`` messages per second, with the excess queued in FIFO order.
+Layers above never block — backpressure shows up as added latency and
+an observable queue depth (the ``dump`` downcall reports it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.core.events import Downcall, DowncallType
+from repro.core.layer import Layer
+from repro.core.stack import register_layer
+
+
+@register_layer
+class FlowControlLayer(Layer):
+    """Token-bucket pacing of outgoing traffic.
+
+    Config:
+        rate (float): sustained messages/second (default 1000.0).
+        burst (int): bucket capacity in messages (default 32).
+    """
+
+    name = "FLOW"
+
+    def __init__(self, context, **config) -> None:
+        super().__init__(context, **config)
+        self.rate = float(config.get("rate", 1000.0))
+        self.burst = int(config.get("burst", 32))
+        if self.rate <= 0 or self.burst < 1:
+            raise ValueError("rate must be positive and burst at least 1")
+        self._tokens = float(self.burst)
+        self._last_refill = 0.0
+        self._queue: Deque[Downcall] = deque()
+        self._drain_scheduled = False
+        self.paced = 0
+        self.max_queue_depth = 0
+
+    #: Tolerance for float accumulation in the bucket: a token short by
+    #: less than this still counts, or the drain loop would reschedule
+    #: itself with a ~1e-17 s wait forever.
+    _EPSILON = 1e-9
+
+    def handle_down(self, downcall: Downcall) -> None:
+        if downcall.type not in (DowncallType.CAST, DowncallType.SEND):
+            self.pass_down(downcall)
+            return
+        self._refill()
+        if self._tokens >= 1.0 - self._EPSILON and not self._queue:
+            self._tokens = max(self._tokens - 1.0, 0.0)
+            self.pass_down(downcall)
+            return
+        self.paced += 1
+        self._queue.append(downcall)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        self._schedule_drain()
+
+    def _refill(self) -> None:
+        now = self.now
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._last_refill) * self.rate
+        )
+        self._last_refill = now
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        wait = max((1.0 - self._tokens) / self.rate, 1.0 / (1000.0 * self.rate))
+        self.context.scheduler.call_after(wait, self._drain)
+
+    def _drain(self) -> None:
+        self._drain_scheduled = False
+        self._refill()
+        while self._queue and self._tokens >= 1.0 - self._EPSILON:
+            self._tokens = max(self._tokens - 1.0, 0.0)
+            self.pass_down(self._queue.popleft())
+        if self._queue:
+            self._schedule_drain()
+
+    def dump(self):
+        info = super().dump()
+        info.update(
+            rate=self.rate,
+            burst=self.burst,
+            queued=len(self._queue),
+            paced=self.paced,
+            max_queue_depth=self.max_queue_depth,
+        )
+        return info

@@ -1,0 +1,146 @@
+"""FRAG — fragmentation and reassembly of large messages.
+
+Section 7: "When a user of the FRAG layer attempts to send a message
+that is larger than that maximum size, the FRAG layer splits the
+message into multiple fragments.  On each fragment the FRAG layer
+pushes a boolean value that indicates whether it is the last one or
+not.  The FRAG layer depends on FIFO ordering for reassembly.  When the
+last fragment is received, it delivers the message."
+
+Faithfully to the paper, the header is a single boolean — the layer
+whose one bit of real information motivates the Section 10 discussion
+of word-aligned header waste.  Correctness therefore *requires* FIFO
+delivery from below (properties P3/P4, per Table 3).
+
+Zero-copy note: non-final fragments are fresh messages carrying body
+*slices* (segment references); the final fragment is the original
+message object, so headers pushed by layers above FRAG travel exactly
+once, on the last fragment.
+
+Properties (Table 3): requires P3, P4, P10, P11; provides P12 (large
+messages).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core import headers as hdr
+from repro.core.events import Downcall, DowncallType, Upcall, UpcallType
+from repro.core.layer import Layer
+from repro.core.message import Message
+from repro.core.stack import register_layer
+from repro.net.address import EndpointAddress
+
+hdr.register("FRAG", fields=[("last", hdr.BOOL)])
+
+#: Reassembly buffers are keyed by (source, was_cast) — FIFO from below
+#: guarantees fragments of one message are contiguous per source and
+#: per sequence space, but casts and subset sends use different spaces.
+_BufferKey = Tuple[EndpointAddress, bool]
+
+
+@register_layer
+class FragLayer(Layer):
+    """Splits big bodies going down; reassembles going up.
+
+    Config:
+        max_size (int): maximum fragment body size in bytes
+            (default 1024).
+    """
+
+    name = "FRAG"
+
+    def __init__(self, context, **config) -> None:
+        super().__init__(context, **config)
+        self.max_size = int(config.get("max_size", 1024))
+        if self.max_size <= 0:
+            raise ValueError(f"max_size must be positive, got {self.max_size}")
+        self._reassembly: Dict[_BufferKey, List[bytes]] = {}
+        self.fragments_sent = 0
+        self.messages_reassembled = 0
+
+    # ------------------------------------------------------------------
+    # Downcalls
+    # ------------------------------------------------------------------
+
+    def handle_down(self, downcall: Downcall) -> None:
+        if (
+            downcall.type in (DowncallType.CAST, DowncallType.SEND)
+            and downcall.message is not None
+        ):
+            self._fragment(downcall)
+        else:
+            self.pass_down(downcall)
+
+    def _fragment(self, downcall: Downcall) -> None:
+        message = downcall.message
+        size = message.body_size
+        if size <= self.max_size:
+            message.push_header(self.name, {"last": True})
+            self.pass_down(downcall)
+            return
+        # Emit all-but-last fragments as bare slice carriers...
+        offset = 0
+        while size - offset > self.max_size:
+            fragment = Message()
+            for segment in message.slice_body(offset, offset + self.max_size):
+                fragment.add_segment(segment)
+            fragment.push_header(self.name, {"last": False})
+            self.fragments_sent += 1
+            self.pass_down(self._like(downcall, fragment))
+            offset += self.max_size
+        # ...and ship the original message (with every header pushed by
+        # the layers above) as the final fragment, body trimmed to the tail.
+        tail = message.slice_body(offset, size)
+        message._segments[:] = tail
+        message.push_header(self.name, {"last": True})
+        self.fragments_sent += 1
+        self.pass_down(downcall)
+
+    @staticmethod
+    def _like(downcall: Downcall, message: Message) -> Downcall:
+        """A downcall of the same type/destination carrying ``message``."""
+        return Downcall(
+            type=downcall.type, message=message, members=downcall.members
+        )
+
+    # ------------------------------------------------------------------
+    # Upcalls
+    # ------------------------------------------------------------------
+
+    def handle_up(self, upcall: Upcall) -> None:
+        if upcall.type is UpcallType.LOST_MESSAGE and upcall.source is not None:
+            # A hole in the FIFO stream poisons any partial reassembly.
+            self._reassembly.pop((upcall.source, True), None)
+            self._reassembly.pop((upcall.source, False), None)
+            self.pass_up(upcall)
+            return
+        message = upcall.message
+        if (
+            upcall.type not in (UpcallType.CAST, UpcallType.SEND)
+            or message is None
+            or message.peek_header(self.name) is None
+        ):
+            self.pass_up(upcall)
+            return
+        header = message.pop_header(self.name)
+        key = (upcall.source, upcall.type is UpcallType.CAST)
+        if not header["last"]:
+            self._reassembly.setdefault(key, []).extend(message.segments)
+            return
+        prefix = self._reassembly.pop(key, None)
+        if prefix:
+            message._segments[:0] = prefix
+            self.messages_reassembled += 1
+        self.pass_up(upcall)
+
+    def dump(self):
+        info = super().dump()
+        info.update(
+            max_size=self.max_size,
+            fragments_sent=self.fragments_sent,
+            messages_reassembled=self.messages_reassembled,
+            partial_buffers=len(self._reassembly),
+        )
+        return info

@@ -1,0 +1,176 @@
+"""LOGGER — message logging (Figure 1: "tolerance of total crash failures").
+
+Records every delivered message and every installed view to a stable
+log (in the simulation, a per-endpoint journal surviving in the world's
+trace domain).  After a total failure — every member crashed — a new
+generation of processes can replay a member's journal to reconstruct
+the group's final state, which is exactly why Figure 1 lists logging as
+a protocol type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.core.events import Upcall, UpcallType
+from repro.core.layer import Layer
+from repro.core.stack import register_layer
+from repro.net.address import EndpointAddress
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One journaled event: a delivery or a view installation."""
+
+    kind: str  # "deliver" | "view"
+    time: float
+    source: Optional[EndpointAddress] = None
+    body: bytes = b""
+    view_members: tuple = ()
+    view_epoch: int = 0
+
+
+@register_layer
+class LoggingLayer(Layer):
+    """Journals deliveries and views on the way up (transparent otherwise).
+
+    Config:
+        capacity (int): maximum retained entries, oldest evicted
+            (default 100000).
+    """
+
+    name = "LOGGER"
+
+    def __init__(self, context, **config) -> None:
+        super().__init__(context, **config)
+        self.capacity = int(config.get("capacity", 100_000))
+        self.journal: List[LogEntry] = []
+
+    def handle_up(self, upcall: Upcall) -> None:
+        if upcall.type in (UpcallType.CAST, UpcallType.SEND) and upcall.message:
+            self._append(
+                LogEntry(
+                    kind="deliver",
+                    time=self.now,
+                    source=upcall.source,
+                    body=upcall.message.body_bytes(),
+                )
+            )
+        elif upcall.type is UpcallType.VIEW and upcall.view is not None:
+            self._append(
+                LogEntry(
+                    kind="view",
+                    time=self.now,
+                    view_members=tuple(str(m) for m in upcall.view.members),
+                    view_epoch=upcall.view.view_id.epoch,
+                )
+            )
+        self.pass_up(upcall)
+
+    def _append(self, entry: LogEntry) -> None:
+        self.journal.append(entry)
+        if len(self.journal) > self.capacity:
+            del self.journal[: len(self.journal) - self.capacity]
+
+    def replay(self, kind: Optional[str] = None) -> List[LogEntry]:
+        """The journal (optionally filtered), oldest first — the recovery
+        input after a total crash failure."""
+        if kind is None:
+            return list(self.journal)
+        return [e for e in self.journal if e.kind == kind]
+
+    def dump(self):
+        info = super().dump()
+        info.update(
+            journal_entries=len(self.journal),
+            deliveries=sum(1 for e in self.journal if e.kind == "deliver"),
+            views=sum(1 for e in self.journal if e.kind == "view"),
+        )
+        return info
+
+
+@register_layer
+class TracerLayer(Layer):
+    """TRACER — per-event tracing for "debugging, statistics" (Figure 1).
+
+    Transparent: counts every event type crossing in each direction and
+    (optionally) records them to the world trace.
+
+    Config:
+        record (bool): also write each crossing to the trace recorder
+            (default False; counting alone is nearly free).
+    """
+
+    name = "TRACER"
+
+    def __init__(self, context, **config) -> None:
+        super().__init__(context, **config)
+        self.record = bool(config.get("record", False))
+        self.down_counts: dict = {}
+        self.up_counts: dict = {}
+
+    def handle_down(self, downcall) -> None:
+        key = downcall.type.name
+        self.down_counts[key] = self.down_counts.get(key, 0) + 1
+        if self.record:
+            self.trace("tracer_down", event=key)
+        self.pass_down(downcall)
+
+    def handle_up(self, upcall) -> None:
+        key = upcall.type.name
+        self.up_counts[key] = self.up_counts.get(key, 0) + 1
+        if self.record:
+            self.trace("tracer_up", event=key)
+        self.pass_up(upcall)
+
+    def dump(self):
+        info = super().dump()
+        info.update(down_counts=dict(self.down_counts), up_counts=dict(self.up_counts))
+        return info
+
+
+@register_layer
+class AccountingLayer(Layer):
+    """ACCOUNT — usage accounting (Figure 1: "keeping track of usage").
+
+    Transparent: meters messages and bytes per direction and per remote
+    source, the raw material for billing or quota enforcement.
+    """
+
+    name = "ACCOUNT"
+
+    def __init__(self, context, **config) -> None:
+        super().__init__(context, **config)
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.received_messages = 0
+        self.received_bytes = 0
+        self.per_source: dict = {}
+
+    def handle_down(self, downcall) -> None:
+        if downcall.message is not None:
+            self.sent_messages += 1
+            self.sent_bytes += downcall.message.body_size
+        self.pass_down(downcall)
+
+    def handle_up(self, upcall) -> None:
+        if upcall.message is not None and upcall.source is not None:
+            self.received_messages += 1
+            size = upcall.message.body_size
+            self.received_bytes += size
+            key = str(upcall.source)
+            messages, total = self.per_source.get(key, (0, 0))
+            self.per_source[key] = (messages + 1, total + size)
+        self.pass_up(upcall)
+
+    def dump(self):
+        info = super().dump()
+        info.update(
+            sent_messages=self.sent_messages,
+            sent_bytes=self.sent_bytes,
+            received_messages=self.received_messages,
+            received_bytes=self.received_bytes,
+            per_source=dict(self.per_source),
+        )
+        return info

@@ -1,0 +1,502 @@
+"""NAK — reliable FIFO delivery via negative acknowledgements.
+
+Section 7: "The NAK layer provides FIFO ordering of messages.  For this
+it pushes a sequence number on each outgoing message, that the receiver
+can check.  If the receiver detects message loss, it sends back a
+negative acknowledgement (NAK).  The NAK layer buffers some messages
+for retransmission, and will retransmit if the message is still
+buffered.  If not, it will send a place holder that will result in a
+LOST_MESSAGE event when received.  Each endpoint will occasionally
+multicast its protocol status ... It also allows the detection of
+failures or disconnections (in case a status update is not received in
+time)."
+
+Properties (Table 3): requires P1, P10, P11; provides P3 (FIFO unicast)
+and P4 (FIFO multicast).
+
+Design notes
+------------
+
+Two independent sequence spaces are kept: a multicast space for casts
+and a per-peer unicast space for subset sends, so subset sends do not
+punch holes in the multicast sequence.
+
+The multicast space is *era-scoped*: when a membership layer above
+installs a view it passes the view epoch down in the VIEW downcall, and
+the multicast sequence space restarts at 1 for that era.  This is what
+lets members join a long-running group without NAK-ing years of
+history, and it is safe precisely because the membership layer
+guarantees that all old-view messages are delivered before the new view
+is installed (virtual synchrony).  The send buffer of the previous era
+is retained for one more view change so that slower members can still
+recover old-era messages from it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core import headers as hdr
+from repro.core.events import Downcall, DowncallType, Upcall, UpcallType
+from repro.core.layer import Layer
+from repro.core.message import Message
+from repro.core.stack import register_layer
+from repro.net.address import EndpointAddress
+
+_DATA_M = 0  # sequenced multicast data
+_DATA_U = 1  # sequenced unicast (subset send) data
+_NAK_M = 2  # negative ack for the multicast space
+_NAK_U = 3  # negative ack for the unicast space
+_STATUS = 4  # periodic status: highest multicast seq sent this era
+_GONE_M = 5  # placeholder: multicast message no longer buffered
+_GONE_U = 6  # placeholder: unicast message no longer buffered
+_USTATUS = 7  # per-peer status: highest unicast seq sent to the receiver
+
+#: Sanity bound for sequence fields: an honest peer can run far ahead of
+#: a receiver (window eviction), but a garbled 64-bit field is random —
+#: astronomically beyond any real backlog.
+_SEQ_SANITY = 1 << 20
+
+hdr.register(
+    "NAK",
+    fields=[
+        ("kind", hdr.U8),
+        ("era", hdr.U32),
+        ("seq", hdr.U64),
+        ("lo", hdr.U64),
+        ("hi", hdr.U64),
+    ],
+    defaults={"era": 0, "seq": 0, "lo": 0, "hi": 0},
+)
+
+
+class _RecvState:
+    """Per-(source, era) receive state for one sequence space."""
+
+    __slots__ = ("expected", "pending", "known_max")
+
+    def __init__(self) -> None:
+        self.expected = 1  # next sequence number to deliver
+        self.pending: Dict[int, Tuple[int, Message]] = {}  # seq -> (kind, msg)
+        self.known_max = 0  # highest seq known to exist (from data/status)
+
+    @property
+    def has_gap(self) -> bool:
+        return self.expected <= self.known_max
+
+
+@register_layer
+class NakLayer(Layer):
+    """Reliable FIFO multicast and unicast over best-effort delivery.
+
+    Config:
+        window (int): retransmission buffer size per space (default 4096).
+        nak_delay (float): gap-detection to NAK-send delay (default 0.02 s).
+        status_period (float): status multicast period (default 0.25 s).
+        problem_timeout (float): silence before a PROBLEM upcall (default 1.5 s).
+    """
+
+    name = "NAK"
+
+    def __init__(self, context, **config) -> None:
+        super().__init__(context, **config)
+        self.window = int(config.get("window", 4096))
+        self.nak_delay = float(config.get("nak_delay", 0.02))
+        self.status_period = float(config.get("status_period", 0.25))
+        self.problem_timeout = float(config.get("problem_timeout", 1.5))
+        # Multicast send side, era-scoped.
+        self._era = 0
+        self._send_seq = 0  # last multicast seq used in the current era
+        self._sent: Dict[int, "OrderedDict[int, Message]"] = {0: OrderedDict()}
+        self._era_high: Dict[int, int] = {}  # retained eras: last seq sent
+        # Unicast send side (continuous; endpoints are incarnation-unique).
+        self._usend_seq: Dict[EndpointAddress, int] = {}
+        self._usent: Dict[EndpointAddress, "OrderedDict[int, Message]"] = {}
+        # Receive side.
+        self._mcast: Dict[Tuple[EndpointAddress, int], _RecvState] = {}
+        self._ucast: Dict[EndpointAddress, _RecvState] = {}
+        self._nak_timers: Dict[Tuple[EndpointAddress, int, int], object] = {}
+        # Liveness observation.
+        self._peers: Set[EndpointAddress] = set()
+        self._last_heard: Dict[EndpointAddress, float] = {}
+        self._reported: Set[EndpointAddress] = set()
+        self._status_timer = None
+        # Statistics.
+        self.naks_sent = 0
+        self.retransmissions = 0
+        self.placeholders_sent = 0
+        self.duplicates_dropped = 0
+        self.stale_era_dropped = 0
+        self.bogus_dropped = 0
+        self.lost_reported = 0
+
+    def start(self) -> None:
+        self._status_timer = self.periodic(self.status_period, self._status_tick)
+        self._status_timer.start()
+
+    # ------------------------------------------------------------------
+    # Downcalls
+    # ------------------------------------------------------------------
+
+    def handle_down(self, downcall: Downcall) -> None:
+        dtype = downcall.type
+        if dtype is DowncallType.CAST and downcall.message is not None:
+            self._cast_data(downcall)
+        elif dtype is DowncallType.SEND and downcall.message is not None:
+            self._send_data(downcall)
+        elif dtype is DowncallType.VIEW:
+            if downcall.members is not None:
+                # A membership layer installing a view asserts these
+                # peers are alive right now; restart their silence clocks.
+                self._set_peers(downcall.members, fresh=True)
+            epoch = downcall.extra.get("epoch")
+            if epoch is not None and epoch > self._era:
+                self._advance_era(epoch)
+            self.pass_down(downcall)
+        else:
+            self.pass_down(downcall)
+
+    def _cast_data(self, downcall: Downcall) -> None:
+        self._send_seq += 1
+        message = downcall.message
+        message.push_header(
+            self.name, {"kind": _DATA_M, "era": self._era, "seq": self._send_seq}
+        )
+        self._buffer(self._sent[self._era], self._send_seq, message.copy())
+        self.pass_down(downcall)
+
+    def _send_data(self, downcall: Downcall) -> None:
+        # Each destination gets its own reliably sequenced copy.
+        for dest in downcall.members or []:
+            seq = self._usend_seq.get(dest, 0) + 1
+            self._usend_seq[dest] = seq
+            message = downcall.message.copy()
+            message.push_header(self.name, {"kind": _DATA_U, "seq": seq})
+            buffer = self._usent.setdefault(dest, OrderedDict())
+            self._buffer(buffer, seq, message.copy())
+            self.pass_down(
+                Downcall(DowncallType.SEND, message=message, members=[dest])
+            )
+
+    def _buffer(self, buffer: "OrderedDict[int, Message]", seq: int, msg: Message) -> None:
+        buffer[seq] = msg
+        while len(buffer) > self.window:
+            buffer.popitem(last=False)
+
+    def _set_peers(self, members, fresh: bool = False) -> None:
+        self._peers = set(members)
+        now = self.now
+        for peer in self._peers:
+            if fresh:
+                self._last_heard[peer] = now
+            else:
+                self._last_heard.setdefault(peer, now)
+        if fresh:
+            self._reported.clear()
+        self._reported &= self._peers
+
+    def _advance_era(self, epoch: int) -> None:
+        """Start a fresh multicast sequence space for the new view.
+
+        Safe because the membership layer has already ensured all
+        old-era messages are delivered locally; the previous era's send
+        buffer is retained so stragglers can still recover from us.
+        """
+        old_era = self._era
+        self._era_high[old_era] = self._send_seq
+        self._era = epoch
+        self._send_seq = 0
+        self._sent[epoch] = OrderedDict()
+        for era in list(self._sent):
+            if era not in (old_era, epoch):
+                del self._sent[era]
+        for era in list(self._era_high):
+            if era not in self._sent:
+                del self._era_high[era]
+        # Purge receive state older than the new era and drain anything
+        # that arrived early for it.
+        for (source, era) in list(self._mcast):
+            if era < epoch:
+                del self._mcast[(source, era)]
+        for (source, era), state in list(self._mcast.items()):
+            if era == epoch:
+                self._drain(state, source, space=0)
+                self._maybe_schedule_nak(state, source, space=0, era=era)
+
+    # ------------------------------------------------------------------
+    # Upcalls
+    # ------------------------------------------------------------------
+
+    def handle_up(self, upcall: Upcall) -> None:
+        if upcall.type is UpcallType.VIEW:
+            if upcall.members is not None:
+                self._set_peers(upcall.members)
+            self.pass_up(upcall)
+            return
+        message = upcall.message
+        if message is None or message.peek_header(self.name) is None:
+            self.pass_up(upcall)
+            return
+        header = message.pop_header(self.name)
+        source = upcall.source
+        self._heard(source)
+        kind = header["kind"]
+        if kind in (_DATA_M, _GONE_M):
+            self._arrived_mcast(source, header["era"], header["seq"], kind, message)
+        elif kind in (_DATA_U, _GONE_U):
+            self._arrived_ucast(source, header["seq"], kind, message)
+        elif kind == _STATUS:
+            self._on_status(source, header["era"], header["seq"])
+        elif kind == _USTATUS:
+            self._on_ustatus(source, header["seq"])
+        elif kind == _NAK_M:
+            self._on_nak(source, header["era"], header["lo"], header["hi"], unicast=False)
+        elif kind == _NAK_U:
+            self._on_nak(source, 0, header["lo"], header["hi"], unicast=True)
+
+    def _heard(self, source: Optional[EndpointAddress]) -> None:
+        if source is None:
+            return
+        self._last_heard[source] = self.now
+        self._reported.discard(source)
+
+    # -- arrival, ordering, and gap handling -------------------------------
+
+    def _arrived_mcast(
+        self,
+        source: EndpointAddress,
+        era: int,
+        seq: int,
+        kind: int,
+        message: Message,
+    ) -> None:
+        if era < self._era:
+            # Message from a view we already left; the flush protocol
+            # accounted for it before the view was installed.
+            self.stale_era_dropped += 1
+            return
+        state = self._mcast.setdefault((source, era), _RecvState())
+        if seq > state.expected + _SEQ_SANITY:
+            self.bogus_dropped += 1  # garbled sequence number
+            return
+        state.known_max = max(state.known_max, seq)
+        if seq < state.expected or seq in state.pending:
+            self.duplicates_dropped += 1
+        else:
+            state.pending[seq] = (kind, message)
+        if era == self._era:
+            self._drain(state, source, space=0)
+            self._maybe_schedule_nak(state, source, space=0, era=era)
+        # era > self._era: hold until our membership layer installs the
+        # view; _advance_era will drain.
+
+    def _arrived_ucast(
+        self, source: EndpointAddress, seq: int, kind: int, message: Message
+    ) -> None:
+        state = self._ucast.setdefault(source, _RecvState())
+        if seq > state.expected + _SEQ_SANITY:
+            self.bogus_dropped += 1
+            return
+        state.known_max = max(state.known_max, seq)
+        if seq < state.expected or seq in state.pending:
+            self.duplicates_dropped += 1
+        else:
+            state.pending[seq] = (kind, message)
+        self._drain(state, source, space=1)
+        self._maybe_schedule_nak(state, source, space=1, era=0)
+
+    def _drain(self, state: _RecvState, source: EndpointAddress, space: int) -> None:
+        while state.expected in state.pending:
+            kind, message = state.pending.pop(state.expected)
+            state.expected += 1
+            if kind == _DATA_M:
+                self.pass_up(Upcall(UpcallType.CAST, message=message, source=source))
+            elif kind == _DATA_U:
+                self.pass_up(Upcall(UpcallType.SEND, message=message, source=source))
+            else:  # a GONE placeholder: the data is unrecoverable
+                self.lost_reported += 1
+                self.pass_up(
+                    Upcall(
+                        UpcallType.LOST_MESSAGE,
+                        source=source,
+                        extra={"seq": state.expected - 1, "space": space},
+                    )
+                )
+
+    def _maybe_schedule_nak(
+        self, state: _RecvState, source: EndpointAddress, space: int, era: int
+    ) -> None:
+        if not state.has_gap:
+            return
+        key = (source, space, era)
+        if key in self._nak_timers:
+            return  # a NAK is already pending for this gap
+        handle = self.context.scheduler.call_after(
+            self.nak_delay, self._fire_nak, source, space, era
+        )
+        self._nak_timers[key] = handle
+
+    def _fire_nak(self, source: EndpointAddress, space: int, era: int) -> None:
+        self._nak_timers.pop((source, space, era), None)
+        if space == 0:
+            if era < self._era:
+                return  # old era: no longer our problem
+            state = self._mcast.get((source, era))
+        else:
+            state = self._ucast.get(source)
+        if state is None or not state.has_gap:
+            return  # gap closed in the meantime
+        kind = _NAK_M if space == 0 else _NAK_U
+        for lo, hi in self._missing_runs(state, limit=8):
+            nak = Message()
+            nak.push_header(self.name, {"kind": kind, "era": era, "lo": lo, "hi": hi})
+            self.naks_sent += 1
+            self.pass_down(Downcall(DowncallType.SEND, message=nak, members=[source]))
+        # Re-arm: if the retransmission is lost too, ask again.
+        self._maybe_schedule_nak(state, source, space, era)
+
+    @staticmethod
+    def _missing_runs(state: _RecvState, limit: int):
+        """Contiguous runs of sequence numbers we lack, oldest first.
+
+        Requesting only the holes (not the whole [expected, known_max]
+        range) keeps retransmission traffic proportional to actual loss.
+        """
+        runs = []
+        seq = state.expected
+        while seq <= state.known_max and len(runs) < limit:
+            if seq in state.pending:
+                seq += 1
+                continue
+            start = seq
+            while seq <= state.known_max and seq not in state.pending:
+                seq += 1
+            runs.append((start, seq - 1))
+        return runs
+
+    # -- retransmission ------------------------------------------------------
+
+    def _on_nak(
+        self,
+        requester: EndpointAddress,
+        era: int,
+        lo: int,
+        hi: int,
+        unicast: bool,
+    ) -> None:
+        if hi < lo or hi - lo >= self.window:
+            # No honest receiver requests more than a window at once;
+            # this is a garbled packet that happened to parse (without a
+            # CHKSUM layer below, garbling detection is nobody's job).
+            self.bogus_dropped += 1
+            return
+        if unicast:
+            buffer = self._usent.get(requester, OrderedDict())
+            gone_kind = _GONE_U
+        else:
+            buffer = self._sent.get(era, OrderedDict())
+            gone_kind = _GONE_M
+        for seq in range(lo, hi + 1):
+            buffered = buffer.get(seq)
+            if buffered is not None:
+                self.retransmissions += 1
+                self.pass_down(
+                    Downcall(
+                        DowncallType.SEND,
+                        message=buffered.copy(),
+                        members=[requester],
+                    )
+                )
+            else:
+                self.placeholders_sent += 1
+                placeholder = Message()
+                placeholder.push_header(
+                    self.name, {"kind": gone_kind, "era": era, "seq": seq}
+                )
+                self.pass_down(
+                    Downcall(
+                        DowncallType.SEND, message=placeholder, members=[requester]
+                    )
+                )
+
+    # -- status and failure suspicion ----------------------------------------
+
+    def _status_tick(self) -> None:
+        status = Message()
+        status.push_header(
+            self.name, {"kind": _STATUS, "era": self._era, "seq": self._send_seq}
+        )
+        self.pass_down(Downcall(DowncallType.CAST, message=status))
+        # Keep advertising the previous era while its buffer is retained
+        # so a peer still catching up can discover tail losses there.
+        for era, high in self._era_high.items():
+            if era == self._era or high == 0:
+                continue
+            old_status = Message()
+            old_status.push_header(
+                self.name, {"kind": _STATUS, "era": era, "seq": high}
+            )
+            self.pass_down(Downcall(DowncallType.CAST, message=old_status))
+        # Unicast streams need sender-side advertisement too: a lost
+        # *final* unicast would otherwise never be missed by anyone.
+        for dest, seq in self._usend_seq.items():
+            ustatus = Message()
+            ustatus.push_header(self.name, {"kind": _USTATUS, "seq": seq})
+            self.pass_down(
+                Downcall(DowncallType.SEND, message=ustatus, members=[dest])
+            )
+        self._check_silence()
+
+    def _on_status(self, source: EndpointAddress, era: int, high_seq: int) -> None:
+        if era < self._era:
+            return
+        state = self._mcast.setdefault((source, era), _RecvState())
+        if high_seq > state.expected + _SEQ_SANITY:
+            self.bogus_dropped += 1
+            return
+        state.known_max = max(state.known_max, high_seq)
+        if era == self._era:
+            self._maybe_schedule_nak(state, source, space=0, era=era)
+
+    def _on_ustatus(self, source: EndpointAddress, high_seq: int) -> None:
+        state = self._ucast.setdefault(source, _RecvState())
+        if high_seq > state.expected + _SEQ_SANITY:
+            self.bogus_dropped += 1
+            return
+        state.known_max = max(state.known_max, high_seq)
+        self._maybe_schedule_nak(state, source, space=1, era=0)
+
+    def _check_silence(self) -> None:
+        now = self.now
+        for peer in self._peers:
+            if peer == self.endpoint or peer in self._reported:
+                continue
+            heard = self._last_heard.get(peer, now)
+            if now - heard > self.problem_timeout:
+                self._reported.add(peer)
+                self.trace("problem", peer=str(peer))
+                self.pass_up(Upcall(UpcallType.PROBLEM, source=peer))
+
+    def stop(self) -> None:
+        for handle in self._nak_timers.values():
+            handle.cancel()
+        self._nak_timers.clear()
+        super().stop()
+
+    def dump(self):
+        info = super().dump()
+        info.update(
+            era=self._era,
+            send_seq=self._send_seq,
+            buffered=sum(len(b) for b in self._sent.values()),
+            naks_sent=self.naks_sent,
+            retransmissions=self.retransmissions,
+            placeholders_sent=self.placeholders_sent,
+            duplicates_dropped=self.duplicates_dropped,
+            stale_era_dropped=self.stale_era_dropped,
+            bogus_dropped=self.bogus_dropped,
+            lost_reported=self.lost_reported,
+            peers=[str(p) for p in sorted(self._peers)],
+        )
+        return info

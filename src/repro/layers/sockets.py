@@ -1,0 +1,81 @@
+"""SOCKETS — the UNIX-socket-style facade (Sections 2 and 11).
+
+"Horus can present a process group through a standard UNIX sockets
+interface (e.g. a UNIX sendto operation will be mapped to a multicast,
+and a recvfrom will receive the next incoming message)."
+
+The facade is the paper's "top-most module [which] is the only one to
+deviate from the Horus interface standard": it adapts the HCPI to an
+interface users already know.  It therefore wraps a
+:class:`~repro.core.group.GroupHandle` rather than registering as a
+stackable layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.endpoint import DEFAULT_STACK, Endpoint
+from repro.core.group import GroupHandle
+from repro.errors import GroupError
+from repro.net.address import EndpointAddress
+
+
+class HorusSocket:
+    """A datagram-socket look-alike over a Horus process group.
+
+    >>> sock = HorusSocket(endpoint)
+    >>> sock.bind("chatroom")                 # join the group
+    >>> sock.sendto(b"hello", "chatroom")     # multicast
+    >>> data, addr = sock.recvfrom()          # next delivery (or None)
+    """
+
+    def __init__(self, endpoint: Endpoint, stack: str = DEFAULT_STACK) -> None:
+        self._endpoint = endpoint
+        self._stack = stack
+        self._handle: Optional[GroupHandle] = None
+
+    def bind(self, group: str) -> None:
+        """Join ``group`` (maps to the HCPI ``join`` downcall)."""
+        if self._handle is not None:
+            raise GroupError("socket is already bound")
+        self._handle = self._endpoint.join(group, stack=self._stack)
+
+    def sendto(self, data: bytes, group: str) -> int:
+        """Multicast ``data`` to the bound group; returns bytes queued."""
+        handle = self._bound()
+        if group != str(handle.group):
+            raise GroupError(
+                f"socket is bound to {handle.group}, cannot send to {group!r}"
+            )
+        handle.cast(data)
+        return len(data)
+
+    def recvfrom(self) -> Optional[Tuple[bytes, EndpointAddress]]:
+        """The next delivered message as ``(data, source)``, or ``None``.
+
+        Non-blocking: the simulation world must be run between calls.
+        """
+        delivered = self._bound().receive()
+        if delivered is None:
+            return None
+        return delivered.data, delivered.source
+
+    def getsockname(self) -> EndpointAddress:
+        """This socket's endpoint address."""
+        return self._endpoint.address
+
+    def close(self) -> None:
+        """Leave the group (idempotent)."""
+        if self._handle is not None and not self._handle.left:
+            self._handle.leave()
+
+    @property
+    def handle(self) -> GroupHandle:
+        """Escape hatch to the full Horus interface underneath."""
+        return self._bound()
+
+    def _bound(self) -> GroupHandle:
+        if self._handle is None:
+            raise GroupError("socket is not bound to a group")
+        return self._handle

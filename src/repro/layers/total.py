@@ -1,0 +1,241 @@
+"""TOTAL — token-based totally ordered multicast (Section 7).
+
+"The TOTAL layer, in turn, relies on virtually synchronous
+communication.  During normal operation, it utilizes a token.  A
+special 'oracle' at each member decides who should get the token next.
+... In case of a failure, the token may be lost.  This, however, is not
+a problem. ... When the new view is installed, each member that remains
+connected to the system is guaranteed to have all messages from the
+previous view, and a deterministic order can easily be constructed ...
+Another deterministic rule decides who the first token holder in this
+view is (e.g., the lowest ranked member), and normal operation can
+continue."
+
+Implementation notes: casts wait at the sender until it holds the
+token; the holder assigns consecutive global sequence numbers, so no
+message is ever on the wire without its final position.  Token loss is
+repaired for free by the view change, exactly as the paper argues:
+the first token holder of a view is its lowest-ranked member, and the
+global sequence restarts at 1 per view.
+
+The paper also notes TOTAL "does not require direct interaction with a
+failure detector" despite the FLP impossibility result — liveness comes
+from the view changes MBRSHIP supplies underneath.
+
+Properties (Table 3): requires P3, P8, P9, P15; provides P6.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core import headers as hdr
+from repro.core.events import Downcall, DowncallType, Upcall, UpcallType
+from repro.core.layer import Layer
+from repro.core.message import Message
+from repro.core.stack import register_layer
+from repro.core.view import View
+from repro.net.address import EndpointAddress
+
+_DATA = 0  # ordered data: carries the global sequence number
+_REQ = 1  # token request (sender has pending casts)
+_TOKEN = 2  # token transfer: names the new holder and the next gseq
+
+_NOBODY = EndpointAddress("", 0)
+
+hdr.register(
+    "TOTAL",
+    fields=[
+        ("kind", hdr.U8),
+        ("gseq", hdr.U64),
+        ("holder", hdr.ADDRESS),
+    ],
+    defaults={"gseq": 0, "holder": _NOBODY},
+)
+
+
+@register_layer
+class TotalOrderLayer(Layer):
+    """Totally ordered delivery via a rotating token.
+
+    Config:
+        max_batch (int): casts released per token possession (default 64).
+        oracle (str): next-holder policy — "demand" (default: pass to the
+            oldest outstanding requester) or "round_robin" (always pass
+            to the next rank, whether or not it asked).
+    """
+
+    name = "TOTAL"
+
+    def __init__(self, context, **config) -> None:
+        super().__init__(context, **config)
+        self.max_batch = int(config.get("max_batch", 64))
+        self.oracle = str(config.get("oracle", "demand"))
+        if self.oracle not in ("demand", "round_robin"):
+            raise ValueError(f"unknown oracle {self.oracle!r}")
+        self.view: Optional[View] = None
+        self.token_holder: Optional[EndpointAddress] = None
+        self.next_gseq = 1  # next gseq the holder will assign
+        self.next_deliver = 1
+        self.pending_out: Deque[Downcall] = deque()
+        self.buffer: Dict[int, Tuple[Message, EndpointAddress]] = {}
+        self.requests: Deque[EndpointAddress] = deque()
+        self._requested = False
+        # Statistics.
+        self.token_passes = 0
+        self.ordered_sent = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    # Downcalls
+    # ------------------------------------------------------------------
+
+    def handle_down(self, downcall: Downcall) -> None:
+        if downcall.type is DowncallType.CAST and downcall.message is not None:
+            self.pending_out.append(downcall)
+            self._try_send()
+        else:
+            self.pass_down(downcall)
+
+    def _holds_token(self) -> bool:
+        return self.view is not None and self.token_holder == self.endpoint
+
+    def _try_send(self) -> None:
+        if self.view is None:
+            return
+        if not self._holds_token():
+            self._request_token()
+            return
+        batch = 0
+        while self.pending_out and batch < self.max_batch:
+            downcall = self.pending_out.popleft()
+            downcall.message.push_header(
+                self.name, {"kind": _DATA, "gseq": self.next_gseq}
+            )
+            self.next_gseq += 1
+            self.ordered_sent += 1
+            batch += 1
+            self.pass_down(downcall)
+        self._maybe_pass_token()
+
+    def _request_token(self) -> None:
+        if self._requested or not self.pending_out:
+            return
+        self._requested = True
+        request = Message()
+        request.push_header(self.name, {"kind": _REQ})
+        self.pass_down(Downcall(DowncallType.CAST, message=request))
+
+    def _maybe_pass_token(self) -> None:
+        """The oracle: decide who gets the token next."""
+        if not self._holds_token() or self.pending_out:
+            return
+        target: Optional[EndpointAddress] = None
+        if self.oracle == "demand":
+            while self.requests:
+                candidate = self.requests.popleft()
+                if candidate != self.endpoint and self.view.contains(candidate):
+                    target = candidate
+                    break
+        else:  # round_robin: always hand to the next rank
+            if self.view.size > 1:
+                my_rank = self.view.rank_of(self.endpoint)
+                target = self.view.members[(my_rank + 1) % self.view.size]
+        if target is None:
+            return  # keep the token until someone wants it
+        self.token_holder = target
+        self.token_passes += 1
+        self.trace("token_pass", to=str(target), gseq=self.next_gseq)
+        token = Message()
+        token.push_header(
+            self.name, {"kind": _TOKEN, "gseq": self.next_gseq, "holder": target}
+        )
+        self.pass_down(Downcall(DowncallType.CAST, message=token))
+
+    # ------------------------------------------------------------------
+    # Upcalls
+    # ------------------------------------------------------------------
+
+    def handle_up(self, upcall: Upcall) -> None:
+        if upcall.type is UpcallType.VIEW and upcall.view is not None:
+            self._new_view(upcall)
+            return
+        if upcall.type is not UpcallType.CAST or upcall.message is None:
+            self.pass_up(upcall)
+            return
+        header = upcall.message.peek_header(self.name)
+        if header is None:
+            self.pass_up(upcall)
+            return
+        upcall.message.pop_header(self.name)
+        kind = header["kind"]
+        if kind == _DATA:
+            self.buffer[header["gseq"]] = (upcall.message, upcall.source)
+            self._drain()
+        elif kind == _REQ:
+            if upcall.source not in self.requests:
+                self.requests.append(upcall.source)
+            if upcall.source == self.endpoint:
+                pass  # our own request echoing back
+            self._maybe_pass_token()
+        elif kind == _TOKEN:
+            self.token_holder = header["holder"]
+            if self.token_holder == self.endpoint:
+                self.next_gseq = header["gseq"]
+                self._requested = False
+                self._try_send()
+
+    def _drain(self) -> None:
+        while self.next_deliver in self.buffer:
+            message, source = self.buffer.pop(self.next_deliver)
+            upcall = Upcall(
+                UpcallType.CAST,
+                message=message,
+                source=source,
+                extra={"total_seq": self.next_deliver},
+            )
+            self.next_deliver += 1
+            self.delivered += 1
+            self.trace("total_deliver", gseq=self.next_deliver - 1)
+            self.pass_up(upcall)
+
+    def _new_view(self, upcall: Upcall) -> None:
+        """Reset the token deterministically for the new view.
+
+        Virtual synchrony underneath guarantees every survivor holds the
+        same set of ordered messages, so the buffer drains identically
+        everywhere before the reset; nothing can be pending in it
+        afterwards (a gap could only mean a violated VS cut, which we
+        surface rather than hide).
+        """
+        self._drain()
+        skipped = len(self.buffer)
+        if skipped:
+            self.trace("total_gap", missing=self.next_deliver, buffered=skipped)
+            self.buffer.clear()
+        self.view = upcall.view
+        self.token_holder = self.view.members[0]  # the deterministic rule
+        self.next_gseq = 1
+        self.next_deliver = 1
+        self.requests.clear()
+        self._requested = False
+        self.pass_up(upcall)
+        if self.pending_out:
+            self._try_send()
+
+    def dump(self):
+        info = super().dump()
+        info.update(
+            token_holder=str(self.token_holder) if self.token_holder else None,
+            holds_token=self._holds_token(),
+            next_gseq=self.next_gseq,
+            next_deliver=self.next_deliver,
+            pending_out=len(self.pending_out),
+            buffered=len(self.buffer),
+            token_passes=self.token_passes,
+            ordered_sent=self.ordered_sent,
+            delivered=self.delivered,
+            oracle=self.oracle,
+        )
+        return info

@@ -1,0 +1,58 @@
+"""The group directory (rendezvous service).
+
+Joining a group requires finding *somebody* already in it.  Real Horus
+used host lists and name services for this bootstrap; we model it as a
+simulation-world directory that maps group addresses to the endpoints
+currently registered under them.  The directory is intentionally weak:
+it is *advisory* (entries may be stale — a registered endpoint may have
+crashed), so the membership layers must tolerate contacting a corpse,
+exactly as with a real name service.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.net.address import EndpointAddress, GroupAddress
+
+
+class GroupDirectory:
+    """Advisory group-name → endpoint registry."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[GroupAddress, List[EndpointAddress]] = {}
+
+    def register(self, group: GroupAddress, endpoint: EndpointAddress) -> None:
+        """Record that ``endpoint`` participates in ``group``.
+
+        Registration order is preserved — earlier entries are older
+        members, which joiners prefer as merge contacts.  Idempotent.
+        """
+        entries = self._entries.setdefault(group, [])
+        if endpoint not in entries:
+            entries.append(endpoint)
+
+    def unregister(self, group: GroupAddress, endpoint: EndpointAddress) -> None:
+        """Remove an entry; unknown entries are ignored (advisory service)."""
+        entries = self._entries.get(group)
+        if entries and endpoint in entries:
+            entries.remove(endpoint)
+            if not entries:
+                del self._entries[group]
+
+    def lookup(self, group: GroupAddress) -> List[EndpointAddress]:
+        """Registered endpoints for ``group``, oldest first (maybe stale)."""
+        return list(self._entries.get(group, []))
+
+    def contacts(
+        self, group: GroupAddress, exclude: EndpointAddress
+    ) -> List[EndpointAddress]:
+        """Lookup minus the asking endpoint itself."""
+        return [e for e in self.lookup(group) if e != exclude]
+
+    def groups(self) -> Set[GroupAddress]:
+        """All groups with at least one registration."""
+        return set(self._entries)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())

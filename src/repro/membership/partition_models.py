@@ -1,0 +1,128 @@
+"""Partition progress policies (Section 9).
+
+"There are at least three different implementations of the first-tier
+that would be suitable for use in Horus":
+
+* **Primary partition** (Isis style): only the component holding a
+  majority of the previous view may install new views; minority
+  components block until connectivity returns.
+* **Extended virtual synchrony** (Transis/Totem style): every component
+  makes progress and installs its own views; the primary component is
+  distinguished but not exclusive.
+* **Relacs view synchrony**: like extended virtual synchrony, with the
+  additional guarantee that concurrent views are identical or
+  non-overlapping (which our flush protocol provides by construction,
+  since survivors are a reachability component).
+
+"Currently, Horus can be configured with an Isis-style of primary
+partition progress restriction, or to support the extended virtual
+synchrony model.  A new membership layer that uses the view synchrony
+scheme of Relacs can easily be added."  All three are selectable here
+via the MBRSHIP layer's ``partition=`` config.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.address import EndpointAddress
+
+
+class PartitionPolicy:
+    """Decides whether a component of a split group may install views."""
+
+    name = "abstract"
+
+    def may_install(
+        self,
+        previous_members: Sequence[EndpointAddress],
+        survivors: Sequence[EndpointAddress],
+    ) -> bool:
+        """Whether ``survivors`` (a component of ``previous_members``
+        plus possibly joiners) is allowed to install a new view."""
+        raise NotImplementedError
+
+    @property
+    def requires_disjoint_views(self) -> bool:
+        """Whether concurrent views must be identical or non-overlapping
+        (the Relacs "quasi-partial" condition the verifier can check)."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"<PartitionPolicy {self.name}>"
+
+
+class PrimaryPartition(PartitionPolicy):
+    """Isis-style: progress only in the majority component.
+
+    A component containing exactly half the previous view counts as
+    primary only if it contains the previous view's oldest member —
+    a deterministic tie-break every component can evaluate locally.
+    """
+
+    name = "primary"
+
+    def may_install(
+        self,
+        previous_members: Sequence[EndpointAddress],
+        survivors: Sequence[EndpointAddress],
+    ) -> bool:
+        if not previous_members:
+            return True
+        old_survivors = [m for m in survivors if m in set(previous_members)]
+        doubled = 2 * len(old_survivors)
+        if doubled > len(previous_members):
+            return True
+        if doubled == len(previous_members):
+            return previous_members[0] in old_survivors
+        return False
+
+
+class ExtendedVirtualSynchrony(PartitionPolicy):
+    """Transis/Totem style: every component proceeds with its own views."""
+
+    name = "evs"
+
+    def may_install(
+        self,
+        previous_members: Sequence[EndpointAddress],
+        survivors: Sequence[EndpointAddress],
+    ) -> bool:
+        return True
+
+
+class RelacsViewSynchrony(PartitionPolicy):
+    """Relacs style: all components proceed; concurrent views must be
+    identical or non-overlapping (checked by :mod:`repro.verify`)."""
+
+    name = "relacs"
+
+    def may_install(
+        self,
+        previous_members: Sequence[EndpointAddress],
+        survivors: Sequence[EndpointAddress],
+    ) -> bool:
+        return True
+
+    @property
+    def requires_disjoint_views(self) -> bool:
+        return True
+
+
+_POLICIES = {
+    PrimaryPartition.name: PrimaryPartition,
+    ExtendedVirtualSynchrony.name: ExtendedVirtualSynchrony,
+    RelacsViewSynchrony.name: RelacsViewSynchrony,
+}
+
+
+def partition_policy(name: str) -> PartitionPolicy:
+    """Build the named policy (``primary``, ``evs``, or ``relacs``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ConfigurationError(
+            f"unknown partition policy {name!r}; known policies: {known}"
+        ) from None

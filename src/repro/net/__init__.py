@@ -1,0 +1,44 @@
+"""Simulated network substrates.
+
+The paper runs Horus over ATM and the Internet; here the same layers run
+over deterministic simulated networks.  Every network provides exactly
+the paper's property ``P1`` (best-effort delivery): packets may be
+delayed, lost, duplicated, reordered, or garbled, according to a
+configurable :class:`~repro.net.faults.FaultModel`, and the network may
+be partitioned via a :class:`~repro.net.partition.PartitionController`.
+
+Three concrete substrates are provided, mirroring the environments the
+paper mentions:
+
+* :class:`~repro.net.atm.AtmNetwork` — low-latency, near-lossless,
+  small-MTU cell network (the paper's ATM testbed).
+* :class:`~repro.net.udp.UdpNetwork` — lossy datagram network (the
+  paper's "Internet" case).
+* :class:`~repro.net.lan.LanNetwork` — broadcast LAN with hardware
+  multicast.
+"""
+
+from repro.net.address import EndpointAddress, GroupAddress
+from repro.net.atm import AtmNetwork
+from repro.net.faults import FaultModel
+from repro.net.lan import LanNetwork
+from repro.net.network import Network, NetworkStats
+from repro.net.packet import Packet
+from repro.net.partition import PartitionController
+from repro.net.udp import UdpNetwork
+from repro.net.wan import Link, WanNetwork
+
+__all__ = [
+    "AtmNetwork",
+    "Link",
+    "WanNetwork",
+    "EndpointAddress",
+    "FaultModel",
+    "GroupAddress",
+    "LanNetwork",
+    "Network",
+    "NetworkStats",
+    "Packet",
+    "PartitionController",
+    "UdpNetwork",
+]

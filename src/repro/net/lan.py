@@ -1,0 +1,61 @@
+"""Broadcast LAN with hardware multicast.
+
+Models an Ethernet segment: one transmission can reach every attached
+endpoint (hardware multicast), so a group cast costs one send rather
+than N unicasts.  Because the COM layer pushes the source address on
+every packet (the paper's P11), this network also exposes that property
+natively — the sender of a frame is known to all receivers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from repro.net.address import EndpointAddress
+from repro.net.faults import FaultModel
+from repro.net.network import Network
+from repro.sim.scheduler import Scheduler
+
+
+class LanNetwork(Network):
+    """Ethernet-like broadcast segment (properties P1 and P11)."""
+
+    default_mtu = 1500
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        fault_model: Optional[FaultModel] = None,
+        rng: Optional[random.Random] = None,
+        mtu: Optional[int] = None,
+        name: str = "lan",
+    ) -> None:
+        if fault_model is None:
+            fault_model = FaultModel(base_delay=0.0002, jitter=0.0001, loss_rate=0.001)
+        super().__init__(
+            scheduler, fault_model=fault_model, rng=rng, mtu=mtu, name=name
+        )
+        #: Number of hardware-multicast transmissions performed.
+        self.multicasts_sent = 0
+
+    def multicast(
+        self,
+        source: EndpointAddress,
+        dests: Iterable[EndpointAddress],
+        payload: bytes,
+    ) -> None:
+        """One transmission fans out to all destinations.
+
+        Loss and delay are still decided independently per receiver
+        (receiver NICs drop frames independently), but the send-side
+        cost is a single transmission — ``multicasts_sent`` counts
+        physical sends, so a group cast of size N shows up as 1 here
+        versus N unicasts on a point-to-point network.
+        """
+        dest_list = [d for d in dests if d != source]
+        if not dest_list:
+            return
+        self.multicasts_sent += 1
+        for dest in dest_list:
+            self.unicast(source, dest, payload)

@@ -1,0 +1,197 @@
+"""The base simulated network.
+
+A :class:`Network` connects endpoint addresses to delivery callbacks and
+moves byte payloads between them under a :class:`~repro.net.faults.FaultModel`
+and a :class:`~repro.net.partition.PartitionController`.  It provides the
+paper's property P1 (best-effort delivery) and nothing more — every
+stronger guarantee is the job of a protocol layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from repro.errors import AddressError, NetworkError, PacketTooLargeError
+from repro.net.address import EndpointAddress
+from repro.net.faults import FaultModel
+from repro.net.packet import Packet
+from repro.net.partition import PartitionController
+from repro.sim.scheduler import Scheduler
+
+DeliveryCallback = Callable[[Packet], None]
+
+
+@dataclass
+class NetworkStats:
+    """Counters a network maintains; read by benchmarks and tests."""
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_lost: int = 0
+    packets_garbled: int = 0
+    packets_duplicated: int = 0
+    packets_partitioned: int = 0
+    packets_to_dead: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    per_node_sent: Dict[str, int] = field(default_factory=dict)
+
+    def note_send(self, node: str, size: int) -> None:
+        """Account for one transmitted packet."""
+        self.packets_sent += 1
+        self.bytes_sent += size
+        self.per_node_sent[node] = self.per_node_sent.get(node, 0) + 1
+
+
+class Network:
+    """Best-effort datagram network (property P1).
+
+    Endpoints :meth:`attach` with a callback; senders call
+    :meth:`unicast` or :meth:`multicast` with flat byte payloads.  The
+    fault model decides loss/duplication/garbling/delay per packet; the
+    partition controller decides reachability per node pair; crashed
+    nodes neither send nor receive.
+    """
+
+    #: Maximum payload size; subclasses override.
+    default_mtu = 65536
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        fault_model: Optional[FaultModel] = None,
+        rng: Optional[random.Random] = None,
+        mtu: Optional[int] = None,
+        name: str = "net",
+    ) -> None:
+        self.scheduler = scheduler
+        self.fault_model = fault_model or FaultModel.perfect()
+        self.rng = rng or random.Random(0)
+        self.mtu = mtu if mtu is not None else self.default_mtu
+        self.name = name
+        self.partitions = PartitionController()
+        self.stats = NetworkStats()
+        self._endpoints: Dict[EndpointAddress, DeliveryCallback] = {}
+        self._dead_nodes: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Attachment and node lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, address: EndpointAddress, deliver: DeliveryCallback) -> None:
+        """Register ``address``; incoming packets invoke ``deliver``."""
+        if address in self._endpoints:
+            raise AddressError(f"address {address} already attached to {self.name}")
+        self._endpoints[address] = deliver
+
+    def detach(self, address: EndpointAddress) -> None:
+        """Unregister ``address``.  Unknown addresses raise."""
+        if address not in self._endpoints:
+            raise AddressError(f"address {address} not attached to {self.name}")
+        del self._endpoints[address]
+
+    def attached(self, address: EndpointAddress) -> bool:
+        """Whether ``address`` is currently registered."""
+        return address in self._endpoints
+
+    def addresses(self) -> Iterable[EndpointAddress]:
+        """Snapshot of currently attached addresses."""
+        return list(self._endpoints)
+
+    def crash_node(self, node: str) -> None:
+        """Fail-stop ``node``: it stops sending and receiving immediately.
+
+        In-flight packets addressed to it are dropped on arrival, which
+        models a machine power-off rather than a graceful close.
+        """
+        self._dead_nodes.add(node)
+
+    def revive_node(self, node: str) -> None:
+        """Bring a crashed node back (it must re-join groups itself)."""
+        self._dead_nodes.discard(node)
+
+    def node_alive(self, node: str) -> bool:
+        """Whether ``node`` is currently up."""
+        return node not in self._dead_nodes
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def unicast(
+        self,
+        source: EndpointAddress,
+        dest: EndpointAddress,
+        payload: bytes,
+    ) -> None:
+        """Send ``payload`` from ``source`` to ``dest``, best effort."""
+        if len(payload) > self.mtu:
+            raise PacketTooLargeError(len(payload), self.mtu)
+        if source not in self._endpoints:
+            raise AddressError(f"source {source} not attached to {self.name}")
+        if not self.node_alive(source.node):
+            raise NetworkError(f"node {source.node} has crashed and cannot send")
+        self.stats.note_send(source.node, len(payload))
+        if not self.partitions.reachable(source.node, dest.node):
+            self.stats.packets_partitioned += 1
+            return
+        deliveries = self.fault_model.plan_deliveries(self.rng, payload)
+        if not deliveries:
+            self.stats.packets_lost += 1
+            return
+        if len(deliveries) > 1:
+            self.stats.packets_duplicated += 1
+        for delay, data, garbled in deliveries:
+            packet = Packet(
+                source=source,
+                dest=dest,
+                payload=data,
+                sent_at=self.scheduler.now,
+                garbled=garbled,
+            )
+            self.scheduler.call_after(delay, self._deliver, packet)
+
+    def multicast(
+        self,
+        source: EndpointAddress,
+        dests: Iterable[EndpointAddress],
+        payload: bytes,
+    ) -> None:
+        """Send ``payload`` to each destination (software multicast).
+
+        The base network has no broadcast medium, so this is a loop of
+        independent unicasts — each destination sees independent loss
+        and delay, exactly the failure mode the flush protocol of
+        Section 5 exists to handle.
+        """
+        for dest in dests:
+            if dest == source:
+                continue
+            self.unicast(source, dest, payload)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def _deliver(self, packet: Packet) -> None:
+        """Hand a packet to its destination endpoint, if possible."""
+        if not self.node_alive(packet.dest.node):
+            self.stats.packets_to_dead += 1
+            return
+        callback = self._endpoints.get(packet.dest)
+        if callback is None:
+            self.stats.packets_lost += 1
+            return
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size
+        if packet.garbled:
+            self.stats.packets_garbled += 1
+        callback(packet)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} endpoints={len(self._endpoints)} "
+            f"mtu={self.mtu}>"
+        )

@@ -1,0 +1,42 @@
+"""UDP-like lossy datagram network.
+
+The "Internet" environment from Section 2 of the paper: datagrams may be
+delayed, lost, duplicated, reordered, or garbled.  This substrate is the
+one the reliability layers (NAK, NNAK, checksum) are benchmarked over.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net.faults import FaultModel
+from repro.net.network import Network
+from repro.sim.scheduler import Scheduler
+
+
+class UdpNetwork(Network):
+    """Best-effort datagram network with internet-path fault rates."""
+
+    default_mtu = 1472  # ethernet MTU minus IP+UDP headers
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        fault_model: Optional[FaultModel] = None,
+        rng: Optional[random.Random] = None,
+        mtu: Optional[int] = None,
+        name: str = "udp",
+    ) -> None:
+        if fault_model is None:
+            fault_model = FaultModel(
+                base_delay=0.005,
+                jitter=0.002,
+                loss_rate=0.01,
+                duplicate_rate=0.001,
+                reorder_rate=0.01,
+                reorder_delay=0.004,
+            )
+        super().__init__(
+            scheduler, fault_model=fault_model, rng=rng, mtu=mtu, name=name
+        )

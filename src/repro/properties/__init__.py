@@ -1,0 +1,54 @@
+"""The protocol property algebra (Section 6, Tables 3 and 4).
+
+"We need a formal way to describe what a layer requires from the layers
+above and below it, and what it guarantees in return. ... Given this
+table, it is possible to figure out if a stack is well-formed, and what
+properties a well-formed stack provides. ... If we can associate a cost
+with each of the properties, possibly on a per-layer basis, we can even
+create a minimal stack."
+
+* :mod:`~repro.properties.props` — the 16 properties of Table 4.
+* :mod:`~repro.properties.registry` — each layer's Requires / Inherits /
+  Provides triple (Table 3).
+* :mod:`~repro.properties.checker` — well-formedness and property
+  derivation for a stack over given network properties.
+* :mod:`~repro.properties.synthesis` — search for a (minimal-cost)
+  stack delivering requested properties.
+"""
+
+from repro.properties.checker import (
+    StackAnalysis,
+    analyze_stack,
+    check_well_formed,
+    derive_properties,
+)
+from repro.properties.cost import DEFAULT_COSTS, stack_cost
+from repro.properties.props import ALL_PROPERTIES, P, property_description
+from repro.properties.registry import (
+    LayerProfile,
+    PROFILES,
+    profile_for,
+    register_profile,
+    render_table3,
+    render_table4,
+)
+from repro.properties.synthesis import synthesize_stack
+
+__all__ = [
+    "ALL_PROPERTIES",
+    "DEFAULT_COSTS",
+    "LayerProfile",
+    "P",
+    "PROFILES",
+    "StackAnalysis",
+    "analyze_stack",
+    "check_well_formed",
+    "derive_properties",
+    "profile_for",
+    "property_description",
+    "register_profile",
+    "render_table3",
+    "render_table4",
+    "stack_cost",
+    "synthesize_stack",
+]

@@ -1,0 +1,152 @@
+"""Well-formedness checking and property derivation for stacks.
+
+"A stack is well-formed if, for each layer, all its required properties
+are guaranteed by the stack underneath it.  The properties are either
+provided by the layer immediately below, or inherited from an even
+lower layer." (Section 6)
+
+The checker walks a stack bottom-up, starting from the network's
+property set, applying each layer's Table 3 row, and records both the
+running property set and any violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.core.stack import parse_stack_spec
+from repro.errors import IllFormedStackError
+from repro.properties.props import P
+from repro.properties.registry import profile_for
+
+#: Property sets each bundled network substrate provides natively.
+NETWORK_PROPERTIES: Dict[str, FrozenSet[P]] = {
+    "atm": frozenset({P.BEST_EFFORT}),
+    "udp": frozenset({P.BEST_EFFORT}),
+    "lan": frozenset({P.BEST_EFFORT, P.SOURCE_ADDRESS}),
+    "plain": frozenset({P.BEST_EFFORT}),
+}
+
+
+@dataclass
+class StackAnalysis:
+    """The result of analysing one stack over one network."""
+
+    #: Layer names, top first (the paper's spec order).
+    layers: List[str]
+    #: Properties the network supplies beneath the stack.
+    network: FrozenSet[P]
+    #: Property set available above each layer, bottom layer first.
+    above: List[FrozenSet[P]] = field(default_factory=list)
+    #: Per-layer missing requirements (empty when well-formed).
+    missing: Dict[str, FrozenSet[P]] = field(default_factory=dict)
+
+    @property
+    def well_formed(self) -> bool:
+        """Whether every layer's requirements were met."""
+        return not self.missing
+
+    @property
+    def provides(self) -> FrozenSet[P]:
+        """Properties the whole stack offers to the application."""
+        return self.above[-1] if self.above else self.network
+
+    def explain(self) -> str:
+        """Human-readable derivation, bottom-up."""
+        lines = [
+            "network provides: " + _fmt(self.network),
+        ]
+        for name, props in zip(reversed(self.layers), self.above):
+            marker = ""
+            if name in self.missing:
+                marker = f"   MISSING {_fmt(self.missing[name])}"
+            lines.append(f"above {name:<9}: {_fmt(props)}{marker}")
+        return "\n".join(lines)
+
+
+def _fmt(props: Iterable[P]) -> str:
+    return "{" + ", ".join(str(p) for p in sorted(props)) + "}"
+
+
+def _spec_names(spec) -> List[str]:
+    if isinstance(spec, str):
+        return [name for name, _ in parse_stack_spec(spec)]
+    return list(spec)
+
+
+def _network_props(network) -> FrozenSet[P]:
+    if isinstance(network, str):
+        try:
+            return NETWORK_PROPERTIES[network]
+        except KeyError:
+            known = ", ".join(sorted(NETWORK_PROPERTIES))
+            raise IllFormedStackError(
+                f"unknown network {network!r}; known: {known}"
+            ) from None
+    return frozenset(network)
+
+
+def analyze_stack(spec, network="atm") -> StackAnalysis:
+    """Walk ``spec`` (string or list of names, top first) bottom-up.
+
+    ``network`` is a bundled substrate name or an explicit property set.
+    Never raises for an ill-formed stack — inspect ``missing``.
+    """
+    layers = _spec_names(spec)
+    below = _network_props(network)
+    analysis = StackAnalysis(layers=layers, network=below)
+    for name in reversed(layers):  # bottom layer first
+        profile = profile_for(name)
+        lacking = profile.missing(below)
+        if lacking:
+            analysis.missing[name] = lacking
+        below = profile.apply(below)
+        analysis.above.append(below)
+    return analysis
+
+
+def check_well_formed(spec, network="atm") -> StackAnalysis:
+    """Like :func:`analyze_stack`, but raises on an ill-formed stack."""
+    analysis = analyze_stack(spec, network)
+    if not analysis.well_formed:
+        detail = "; ".join(
+            f"{name} missing {_fmt(props)}"
+            for name, props in analysis.missing.items()
+        )
+        raise IllFormedStackError(
+            f"stack {':'.join(analysis.layers)} is ill-formed: {detail}",
+            missing=analysis.missing,
+        )
+    return analysis
+
+
+def derive_properties(spec, network="atm") -> FrozenSet[P]:
+    """Properties a well-formed stack provides (raises if ill-formed)."""
+    return check_well_formed(spec, network).provides
+
+
+def ordering_matters(layer_a: str, layer_b: str, below: Iterable[P]) -> Tuple[bool, str]:
+    """Does stacking order of two adjacent layers matter over ``below``?
+
+    Section 8 mentions deciding "when the stacking order of two layers
+    matters"; this utility answers it within the property algebra:
+    the order matters when exactly one of the two orders is well-formed,
+    or when the two orders yield different property sets.
+    """
+    base = frozenset(below)
+    pa, pb = profile_for(layer_a), profile_for(layer_b)
+
+    def result(first, second):
+        after_first = first.apply(base)
+        ok = first.satisfied_by(base) and second.satisfied_by(after_first)
+        return ok, second.apply(after_first)
+
+    ok_ab, props_ab = result(pb, pa)  # b below a
+    ok_ba, props_ba = result(pa, pb)  # a below b
+    if ok_ab != ok_ba:
+        good = f"{layer_a}:{layer_b}" if ok_ab else f"{layer_b}:{layer_a}"
+        return True, f"only {good} is well-formed"
+    if ok_ab and props_ab != props_ba:
+        return True, "both orders are well-formed but yield different properties"
+    return False, "order does not matter over these properties"

@@ -1,0 +1,76 @@
+"""Table 4: the sixteen protocol properties.
+
+Each property "can either be a requirement on the communication
+guarantees provided underneath the protocol, or a guarantee that is
+provided by the protocol itself."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class P(enum.IntEnum):
+    """The properties of Table 4, named P1 through P16."""
+
+    BEST_EFFORT = 1  # best effort delivery
+    PRIORITIZED = 2  # prioritized effort delivery
+    FIFO_UNICAST = 3  # FIFO unicast delivery
+    FIFO_MULTICAST = 4  # FIFO multicast delivery
+    CAUSAL = 5  # causal delivery
+    TOTAL_ORDER = 6  # totally ordered delivery
+    SAFE = 7  # safe delivery
+    VIRTUALLY_SEMI_SYNC = 8  # virtually semi-synchronous delivery
+    VIRTUALLY_SYNC = 9  # virtually synchronous delivery
+    BYTE_REORDER_DETECT = 10  # byte re-ordering detection
+    SOURCE_ADDRESS = 11  # source address
+    LARGE_MESSAGES = 12  # large messages
+    CAUSAL_TIMESTAMPS = 13  # causal timestamps
+    STABILITY_INFO = 14  # stability information
+    CONSISTENT_VIEWS = 15  # consistent views
+    AUTO_VIEW_MERGE = 16  # automatic view merging
+
+    def __str__(self) -> str:
+        return f"P{int(self)}"
+
+
+_DESCRIPTIONS = {
+    P.BEST_EFFORT: "best effort delivery",
+    P.PRIORITIZED: "prioritized effort delivery",
+    P.FIFO_UNICAST: "FIFO unicast delivery",
+    P.FIFO_MULTICAST: "FIFO multicast delivery",
+    P.CAUSAL: "causal delivery",
+    P.TOTAL_ORDER: "totally ordered delivery",
+    P.SAFE: "safe delivery",
+    P.VIRTUALLY_SEMI_SYNC: "virtually semi-synchronous delivery",
+    P.VIRTUALLY_SYNC: "virtually synchronous delivery",
+    P.BYTE_REORDER_DETECT: "byte re-ordering detection",
+    P.SOURCE_ADDRESS: "source address",
+    P.LARGE_MESSAGES: "large messages",
+    P.CAUSAL_TIMESTAMPS: "causal timestamps",
+    P.STABILITY_INFO: "stability information",
+    P.CONSISTENT_VIEWS: "consistent views",
+    P.AUTO_VIEW_MERGE: "automatic view merging",
+}
+
+#: Every property, in Table 4 order.
+ALL_PROPERTIES: FrozenSet[P] = frozenset(P)
+
+
+def property_description(prop: P) -> str:
+    """The Table 4 wording for ``prop``."""
+    return _DESCRIPTIONS[prop]
+
+
+def parse_property(text: str) -> P:
+    """Parse ``"P9"`` / ``"9"`` / a Table 4 description into a property."""
+    cleaned = text.strip().lower()
+    if cleaned.startswith("p") and cleaned[1:].isdigit():
+        return P(int(cleaned[1:]))
+    if cleaned.isdigit():
+        return P(int(cleaned))
+    for prop, description in _DESCRIPTIONS.items():
+        if description == cleaned:
+            return prop
+    raise ValueError(f"unknown property {text!r}")

@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+Horus ran on real networks of Sparc workstations; this reproduction runs
+the same protocol layers over a deterministic discrete-event simulation.
+The kernel follows the paper's own "event queue model" (Section 3): a
+single logical scheduler drives all endpoints, and each layer entry point
+is invoked as an event, never concurrently for the same group object.
+
+Public surface:
+
+* :class:`~repro.sim.scheduler.Scheduler` — virtual-time event loop.
+* :class:`~repro.sim.timers.Timer` / :class:`~repro.sim.timers.PeriodicTimer`
+  — cancellable timers built on the scheduler.
+* :class:`~repro.sim.rand.RandomRouter` — named, independently seeded
+  deterministic randomness streams.
+* :class:`~repro.sim.trace.TraceRecorder` — structured event traces used
+  by the executable specifications in :mod:`repro.verify`.
+"""
+
+from repro.sim.concurrency import EventCounter, MonitorLock
+from repro.sim.rand import RandomRouter
+from repro.sim.scheduler import EventHandle, Scheduler
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "EventCounter",
+    "EventHandle",
+    "MonitorLock",
+    "PeriodicTimer",
+    "RandomRouter",
+    "Scheduler",
+    "Timer",
+    "TraceRecord",
+    "TraceRecorder",
+]

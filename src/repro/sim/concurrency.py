@@ -1,0 +1,154 @@
+"""Section 3's concurrency-control primitives, in event-model form.
+
+"Locking is also a source of bugs in layers developed by inexperienced
+thread users.  This has led us to offer two very simple alternatives to
+standard critical sections.  The first of these treats a layer as a
+monitor, allowing only one thread at a time to be active for each group
+object.  The second is based on event counters, and provides a way to
+order threads according to an integer sequencing value: each upcall is
+assigned a sequence number, and threads are provided with mutual
+exclusion zones that will be entered in sequence order."
+
+Our execution substrate is a discrete-event scheduler rather than
+preemptive threads, so "blocking" becomes "queue a continuation":
+
+* :class:`MonitorLock` — serializes closures: while one runs (possibly
+  across scheduled continuations between :meth:`enter` and
+  :meth:`exit`), others queue.
+* :class:`EventCounter` — a monotone counter with ordered waiting:
+  ``await_value(n, fn)`` runs ``fn`` once the counter reaches ``n``,
+  and continuations for the same threshold run in arrival order —
+  Section 3's "mutual exclusion zones entered in sequence order".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Deque, List, Tuple
+
+from repro.errors import SimulationError
+
+
+class MonitorLock:
+    """A monitor: one occupant at a time, FIFO admission.
+
+    Two usage styles:
+
+    * one-shot: ``monitor.run(fn)`` — ``fn`` runs when the monitor is
+      free and the monitor releases when it returns.
+    * spanning: ``monitor.enter(fn)`` — ``fn`` runs when admitted and
+      the occupant holds the monitor (across any events it schedules)
+      until it calls :meth:`exit`.
+    """
+
+    def __init__(self, scheduler: Any) -> None:
+        self._scheduler = scheduler
+        self._occupied = False
+        self._queue: Deque[Tuple[Callable[[], None], bool]] = deque()
+        #: Total admissions, for tests/diagnostics.
+        self.admissions = 0
+
+    @property
+    def occupied(self) -> bool:
+        """Whether someone currently holds the monitor."""
+        return self._occupied
+
+    @property
+    def waiting(self) -> int:
+        """How many entrants are queued."""
+        return len(self._queue)
+
+    def run(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` inside the monitor; auto-release on return."""
+        self._admit_or_queue(fn, auto_exit=True)
+
+    def enter(self, fn: Callable[[], None]) -> None:
+        """Admit ``fn``; the occupant must call :meth:`exit` itself."""
+        self._admit_or_queue(fn, auto_exit=False)
+
+    def exit(self) -> None:
+        """Release the monitor (occupant only)."""
+        if not self._occupied:
+            raise SimulationError("exit() on a monitor nobody occupies")
+        self._occupied = False
+        self._admit_next()
+
+    def _admit_or_queue(self, fn: Callable[[], None], auto_exit: bool) -> None:
+        if self._occupied:
+            self._queue.append((fn, auto_exit))
+            return
+        self._occupy(fn, auto_exit)
+
+    def _occupy(self, fn: Callable[[], None], auto_exit: bool) -> None:
+        self._occupied = True
+        self.admissions += 1
+        if auto_exit:
+            try:
+                fn()
+            finally:
+                self._occupied = False
+                self._admit_next()
+        else:
+            fn()
+
+    def _admit_next(self) -> None:
+        if self._occupied or not self._queue:
+            return
+        fn, auto_exit = self._queue.popleft()
+        # Admission happens as a fresh event, never re-entrantly inside
+        # the releasing occupant's frame.
+        self._scheduler.call_soon(self._occupy, fn, auto_exit)
+
+
+class EventCounter:
+    """A monotone counter with ordered continuation release.
+
+    Waiters for value *n* run once :meth:`advance` has been called *n*
+    times; waiters with the same threshold release in registration
+    order, and lower thresholds always release before higher ones —
+    the paper's sequence-ordered mutual exclusion zones.
+    """
+
+    def __init__(self, scheduler: Any) -> None:
+        self._scheduler = scheduler
+        self.value = 0
+        self._tiebreak = itertools.count()
+        self._waiters: List[Tuple[int, int, Callable[[], None]]] = []
+
+    def advance(self, amount: int = 1) -> int:
+        """Increment the counter, releasing any satisfied waiters."""
+        if amount < 1:
+            raise SimulationError(f"advance must be positive, got {amount}")
+        self.value += amount
+        self._release()
+        return self.value
+
+    def await_value(self, threshold: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once the counter reaches ``threshold``.
+
+        If it already has, ``fn`` is scheduled immediately (still as its
+        own event, preserving release order with earlier waiters).
+        """
+        heapq.heappush(self._waiters, (threshold, next(self._tiebreak), fn))
+        self._release()
+
+    def next_ticket(self) -> int:
+        """A sequencing helper: the value after one more advance.
+
+        A producer can assign ``ticket = counter.next_ticket()`` to each
+        upcall and consumers ``await_value(ticket, ...)`` to form the
+        in-order zones the paper describes.
+        """
+        return self.value + 1
+
+    @property
+    def waiting(self) -> int:
+        """How many continuations are still waiting."""
+        return len(self._waiters)
+
+    def _release(self) -> None:
+        while self._waiters and self._waiters[0][0] <= self.value:
+            _, _, fn = heapq.heappop(self._waiters)
+            self._scheduler.call_soon(fn)

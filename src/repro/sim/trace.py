@@ -1,0 +1,102 @@
+"""Structured trace recording.
+
+The Horus paper's Section 8 argues for *executable specifications* that
+run against real layer implementations.  Our analogue records every
+interesting action (send, deliver, view install, flush round, token
+passing) as a :class:`TraceRecord`; the checkers in :mod:`repro.verify`
+then validate ordering and virtual-synchrony invariants over the trace,
+playing the role of the paper's ML reference layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed action.
+
+    Attributes:
+        time: virtual time at which the action occurred.
+        category: coarse kind, e.g. ``"deliver"``, ``"view"``, ``"flush"``.
+        actor: the endpoint (or node) that performed the action.
+        detail: free-form payload describing the action.
+    """
+
+    time: float
+    category: str
+    actor: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:.6f}] {self.actor} {self.category}({items})"
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects for later verification.
+
+    Recording can be disabled wholesale (for benchmarks) or filtered by
+    category.  Records are kept in arrival order, which — because the
+    scheduler is deterministic — is also a legal linearization of the run.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        actor: str,
+        **detail: Any,
+    ) -> None:
+        """Append one record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(time=time, category=category, actor=actor, detail=detail)
+        self.records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` on every future record (live checking)."""
+        self._listeners.append(listener)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All records of one category, in trace order."""
+        return [r for r in self.records if r.category == category]
+
+    def by_actor(self, actor: str) -> List[TraceRecord]:
+        """All records from one actor, in trace order."""
+        return [r for r in self.records if r.actor == actor]
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        actor: Optional[str] = None,
+        **detail_filters: Any,
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching every given filter."""
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if actor is not None and rec.actor != actor:
+                continue
+            if any(rec.detail.get(k) != v for k, v in detail_filters.items()):
+                continue
+            yield rec
+
+    def clear(self) -> None:
+        """Drop all records (listeners stay subscribed)."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)

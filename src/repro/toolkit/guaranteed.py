@@ -1,0 +1,116 @@
+"""Guaranteed execution: a task runs to completion despite crashes.
+
+The Isis tool list (Section 1) includes "guaranteed execution": once a
+task is submitted to the group, *some* member executes it, even if the
+member that started it crashes mid-way — and no task executes its
+effect twice.
+
+Mechanism: tasks and completions are totally ordered multicasts.  The
+current owner of a task is a deterministic function of the view (its
+rank by task hash, like the load balancer); on a view change, tasks
+whose completions have not been seen are re-owned and re-executed by
+the new owner.  Exactly-once *effects* come from idempotent execution
+plus completion dedup — the classic at-least-once execution /
+at-most-once effect split.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.endpoint import Endpoint
+from repro.core.group import DeliveredMessage
+from repro.core.view import View
+
+DEFAULT_STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+TaskFn = Callable[[bytes], None]
+
+
+def _owner_rank(task_id: bytes, group_size: int) -> int:
+    digest = hashlib.sha256(task_id).digest()
+    return int.from_bytes(digest[:4], "big") % group_size
+
+
+class GuaranteedExecutor:
+    """One member of a crash-tolerant task execution group.
+
+    >>> executor = GuaranteedExecutor(endpoint, "tasks", run_task)
+    >>> executor.submit(b"backup-database")
+    >>> # run_task(b"backup-database") executes exactly once group-wide,
+    >>> # even if its first owner crashes before finishing.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        group: str,
+        task_fn: TaskFn,
+        stack: str = DEFAULT_STACK,
+    ) -> None:
+        self.task_fn = task_fn
+        self.view: Optional[View] = None
+        #: Tasks seen but not yet completed, in arrival order.
+        self.outstanding: List[bytes] = []
+        self.completed: Set[bytes] = set()
+        #: Tasks this member executed (for tests/metrics).
+        self.executed: List[bytes] = []
+        # Captured before join(): the first VIEW upcall fires inside it.
+        self._address = endpoint.address
+        self.handle = endpoint.join(
+            group, stack=stack, on_message=self._deliver, on_view=self._on_view
+        )
+
+    def submit(self, task: bytes) -> None:
+        """Offer a task for guaranteed execution (any member may)."""
+        self.handle.cast(b"T" + task)
+
+    # ------------------------------------------------------------------
+
+    def owner_rank_of(self, task: bytes) -> Optional[int]:
+        """The view rank that owns ``task`` right now (None pre-view)."""
+        if self.view is None or self.view.size == 0:
+            return None
+        return _owner_rank(task, self.view.size)
+
+    def _owns(self, task: bytes) -> bool:
+        if self.view is None or self.view.size == 0:
+            return False
+        rank = _owner_rank(task, self.view.size)
+        return self.view.members[rank] == self._address
+
+    def _execute(self, task: bytes) -> None:
+        self.executed.append(task)
+        self.task_fn(task)
+        self.handle.cast(b"D" + task)
+
+    def _deliver(self, delivered: DeliveredMessage) -> None:
+        kind, task = delivered.data[:1], delivered.data[1:]
+        if kind == b"T":
+            if task in self.completed or task in self.outstanding:
+                return
+            self.outstanding.append(task)
+            if self._owns(task):
+                self._execute(task)
+        elif kind == b"D":
+            # Completion: dedup point — every member agrees (total
+            # order) which completion was first.
+            if task not in self.completed:
+                self.completed.add(task)
+                if task in self.outstanding:
+                    self.outstanding.remove(task)
+
+    def _on_view(self, view: View) -> None:
+        self.view = view
+        # Re-own tasks whose completion never arrived: their owner may
+        # have crashed mid-execution.
+        for task in list(self.outstanding):
+            if self._owns(task):
+                self._execute(task)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GuaranteedExecutor {self._address} outstanding="
+            f"{len(self.outstanding)} completed={len(self.completed)}>"
+        )

@@ -1,0 +1,84 @@
+"""Coordination-free load balancing over a process group.
+
+Another of the Isis tools (Section 1: "load-balancing ... parallel
+computation").  Work items are multicast; every member sees every item,
+but exactly one executes each: the owner is chosen by hashing the item
+onto the current view's ranks.  Because views are consistent (P15),
+every member computes the same owner without any assignment messages —
+and when membership changes, ownership re-partitions automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, List, Optional
+
+from repro.core.endpoint import Endpoint
+from repro.core.group import DeliveredMessage
+from repro.core.view import View
+
+DEFAULT_STACK = "MBRSHIP:FRAG:NAK:COM"
+
+WorkFn = Callable[[bytes], None]
+
+
+def _owner_rank(item: bytes, group_size: int) -> int:
+    digest = hashlib.sha256(item).digest()
+    return int.from_bytes(digest[:4], "big") % group_size
+
+
+class LoadBalancer:
+    """One worker in a self-partitioning pool.
+
+    >>> pool = LoadBalancer(endpoint, "workers", work_fn=handle_job)
+    >>> pool.submit(b"job-123")   # exactly one member runs handle_job
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        group: str,
+        work_fn: WorkFn,
+        stack: str = DEFAULT_STACK,
+    ) -> None:
+        self.work_fn = work_fn
+        self.view: Optional[View] = None
+        #: Items this member executed.
+        self.executed: List[bytes] = []
+        #: Items this member saw but left to their owners.
+        self.skipped = 0
+        # Captured before join(): the first VIEW upcall fires inside it.
+        self._address = endpoint.address
+        self.handle = endpoint.join(
+            group, stack=stack, on_message=self._deliver, on_view=self._on_view
+        )
+
+    def submit(self, item: bytes) -> None:
+        """Offer one work item to the pool (any member may submit)."""
+        self.handle.cast(item)
+
+    def owner_of(self, item: bytes) -> Optional[str]:
+        """Which member would execute ``item`` in the current view."""
+        if self.view is None or self.view.size == 0:
+            return None
+        rank = _owner_rank(item, self.view.size)
+        return str(self.view.members[rank])
+
+    def _on_view(self, view: View) -> None:
+        self.view = view
+
+    def _deliver(self, delivered: DeliveredMessage) -> None:
+        if self.view is None:
+            return
+        rank = _owner_rank(delivered.data, self.view.size)
+        if self.view.members[rank] == self._address:
+            self.executed.append(delivered.data)
+            self.work_fn(delivered.data)
+        else:
+            self.skipped += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<LoadBalancer {self._address} "
+            f"executed={len(self.executed)} skipped={self.skipped}>"
+        )

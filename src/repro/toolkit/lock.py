@@ -1,0 +1,121 @@
+"""Distributed mutual exclusion from total order.
+
+"It is straightforward to implement ... fault-tolerant synchronization
+... in Horus" (Section 9).  Lock requests and releases are multicast
+through a TOTAL stack, so every member sees the same queue of waiters
+and independently computes the same holder — no lock server, no extra
+messages beyond the requests themselves.
+
+Crash safety comes from virtual synchrony: when a view change removes a
+member, every survivor prunes it from the queue at the same logical
+instant, so a lock held by a crashed process is recovered consistently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.endpoint import Endpoint
+from repro.core.group import DeliveredMessage
+from repro.core.view import View
+from repro.net.address import EndpointAddress
+
+DEFAULT_STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+
+class DistributedLock:
+    """One member's handle on a named replicated lock.
+
+    >>> lock = DistributedLock(endpoint, "mutex-group", "the-lock")
+    >>> lock.acquire(on_granted=lambda: print("mine!"))
+    >>> ...
+    >>> lock.release()
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        group: str,
+        lock_name: str = "lock",
+        stack: str = DEFAULT_STACK,
+    ) -> None:
+        self.lock_name = lock_name
+        #: The agreed queue of waiters; queue[0] holds the lock.
+        self.queue: List[Tuple[str, int]] = []  # (member, request id)
+        self._request_seq = 0
+        self._grant_callbacks = {}
+        self.grants_observed = 0
+        # Captured before join(): the first VIEW upcall fires inside it.
+        self._address = endpoint.address
+        self.handle = endpoint.join(
+            group, stack=stack, on_message=self._deliver, on_view=self._on_view
+        )
+
+    @property
+    def me(self) -> str:
+        return str(self._address)
+
+    # ------------------------------------------------------------------
+    # Application surface
+    # ------------------------------------------------------------------
+
+    def acquire(self, on_granted: Optional[Callable[[], None]] = None) -> int:
+        """Queue for the lock; ``on_granted`` fires when it is ours."""
+        self._request_seq += 1
+        request_id = self._request_seq
+        if on_granted is not None:
+            self._grant_callbacks[request_id] = on_granted
+        self._cast({"op": "acquire", "member": self.me, "id": request_id})
+        return request_id
+
+    def release(self) -> None:
+        """Give the lock up (no-op unless we hold it when this orders)."""
+        self._cast({"op": "release", "member": self.me})
+
+    @property
+    def holder(self) -> Optional[str]:
+        """Who currently holds the lock, per this member's queue."""
+        return self.queue[0][0] if self.queue else None
+
+    def held_by_me(self) -> bool:
+        """Whether this member holds the lock right now."""
+        return self.holder == self.me
+
+    # ------------------------------------------------------------------
+    # Replicated queue machinery
+    # ------------------------------------------------------------------
+
+    def _cast(self, message: dict) -> None:
+        self.handle.cast(json.dumps(message).encode("utf-8"))
+
+    def _deliver(self, delivered: DeliveredMessage) -> None:
+        message = json.loads(delivered.data.decode("utf-8"))
+        previous_holder = self.holder
+        if message["op"] == "acquire":
+            self.queue.append((message["member"], message["id"]))
+        elif message["op"] == "release":
+            if self.queue and self.queue[0][0] == message["member"]:
+                self.queue.pop(0)
+        self._notify_if_granted(previous_holder)
+
+    def _on_view(self, view: View) -> None:
+        """Prune departed members — identical pruning at every survivor."""
+        previous_holder = self.holder
+        alive = {str(m) for m in view.members}
+        self.queue = [entry for entry in self.queue if entry[0] in alive]
+        self._notify_if_granted(previous_holder)
+
+    def _notify_if_granted(self, previous_holder: Optional[str]) -> None:
+        if self.holder != previous_holder and self.held_by_me():
+            self.grants_observed += 1
+            request_id = self.queue[0][1]
+            callback = self._grant_callbacks.pop(request_id, None)
+            if callback is not None:
+                callback()
+
+    def __repr__(self) -> str:
+        return (
+            f"<DistributedLock {self.lock_name!r} at {self.me} "
+            f"holder={self.holder} queue={len(self.queue)}>"
+        )

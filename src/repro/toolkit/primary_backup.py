@@ -1,0 +1,99 @@
+"""Primary-backup fault tolerance.
+
+One of the Isis tools the paper's introduction lists.  The oldest view
+member is the primary (the coordinator — the same message-free election
+the membership layer uses); it executes client operations and multicasts
+the *results* so backups stay in lock-step without re-executing anything
+non-deterministic.  When a view change removes the primary, the next
+oldest member takes over instantly — every survivor agrees who that is
+without exchanging a single election message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.endpoint import Endpoint
+from repro.core.group import DeliveredMessage
+from repro.core.view import View
+
+DEFAULT_STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+#: execute(state, operation) -> (new_state, result).  May be
+#: non-deterministic: only the primary runs it.
+ExecuteFn = Callable[[Any, Any], Any]
+
+
+class PrimaryBackup:
+    """One member of a primary-backup service group.
+
+    >>> service = PrimaryBackup(endpoint, "svc", execute_fn, initial=0)
+    >>> if service.is_primary:
+    ...     service.submit({"op": "charge", "amount": 10})
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        group: str,
+        execute: ExecuteFn,
+        initial: Any = None,
+        stack: str = DEFAULT_STACK,
+    ) -> None:
+        self.execute = execute
+        self.state = initial
+        self.view: Optional[View] = None
+        #: Results applied, in order (identical at primary and backups).
+        self.result_log: List[Any] = []
+        #: Operations accepted while not primary, forwarded on promotion.
+        self._deferred: List[Any] = []
+        self.failovers = 0
+        # Captured before join(): the first VIEW upcall fires inside it.
+        self._address = endpoint.address
+        self.handle = endpoint.join(
+            group, stack=stack, on_message=self._deliver, on_view=self._on_view
+        )
+
+    @property
+    def is_primary(self) -> bool:
+        """Whether this member currently executes operations."""
+        return self.view is not None and self.view.coordinator == self._address
+
+    def submit(self, operation: Any) -> None:
+        """Hand one operation to the service.
+
+        On the primary the operation executes at once and its state
+        delta replicates; on a backup it is deferred and executes if
+        this member is ever promoted (client retry logic in miniature).
+        """
+        if self.is_primary:
+            self._execute_and_replicate(operation)
+        else:
+            self._deferred.append(operation)
+
+    def _execute_and_replicate(self, operation: Any) -> None:
+        self.state, result = self.execute(self.state, operation)
+        self.handle.cast(
+            json.dumps({"state": self.state, "result": result}).encode("utf-8")
+        )
+
+    def _deliver(self, delivered: DeliveredMessage) -> None:
+        update = json.loads(delivered.data.decode("utf-8"))
+        # Backups adopt the primary's post-execution state verbatim; the
+        # primary's own loopback confirms replication ordering.
+        self.state = update["state"]
+        self.result_log.append(update["result"])
+
+    def _on_view(self, view: View) -> None:
+        was_primary = self.is_primary
+        self.view = view
+        if self.is_primary and not was_primary:
+            self.failovers += 1
+            deferred, self._deferred = self._deferred, []
+            for operation in deferred:
+                self._execute_and_replicate(operation)
+
+    def __repr__(self) -> str:
+        role = "primary" if self.is_primary else "backup"
+        return f"<PrimaryBackup {self._address} ({role})>"

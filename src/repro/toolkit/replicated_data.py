@@ -1,0 +1,127 @@
+"""A replicated dictionary with state transfer to joiners.
+
+"It is straightforward to implement replicated data ... in Horus"
+(Section 9).  Updates ride totally ordered multicast; a member that
+joins mid-life receives a snapshot from the coordinator (the paper's
+"joining a group and obtaining its state") before applying updates, so
+late replicas converge to the same contents as founding ones.
+
+State transfer piggybacks the view change: when a view adds members,
+the coordinator subset-sends its snapshot tagged with the view epoch;
+joiners buffer ordered updates until the snapshot lands, then apply
+them on top.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.endpoint import Endpoint
+from repro.core.group import DeliveredMessage
+from repro.core.view import View
+
+DEFAULT_STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+
+class ReplicatedDict:
+    """A key-value map replicated across a process group.
+
+    >>> shared = ReplicatedDict(endpoint, "config")
+    >>> shared.set("timeout", 30)
+    >>> # after world.run(...): shared.get("timeout") == 30 at every member
+    """
+
+    def __init__(
+        self, endpoint: Endpoint, group: str, stack: str = DEFAULT_STACK
+    ) -> None:
+        self._data: Dict[str, Any] = {}
+        self._synced = False  # founders sync trivially; joiners via snapshot
+        self._buffer: List[DeliveredMessage] = []
+        self._was_founder: Optional[bool] = None
+        self.snapshots_sent = 0
+        # Captured before join(): the first VIEW upcall fires inside it.
+        self._address = endpoint.address
+        self.handle = endpoint.join(
+            group,
+            stack=stack,
+            on_message=self._deliver,
+            on_view=self._on_view,
+        )
+
+    # ------------------------------------------------------------------
+    # Application surface
+    # ------------------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        """Replicated write."""
+        self._cast({"op": "set", "key": key, "value": value})
+
+    def delete(self, key: str) -> None:
+        """Replicated delete."""
+        self._cast({"op": "del", "key": key})
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Local read of the replicated state."""
+        return self._data.get(key, default)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A copy of the full local state."""
+        return dict(self._data)
+
+    @property
+    def synced(self) -> bool:
+        """Whether this member has the authoritative state (joiners are
+        unsynced until their snapshot arrives)."""
+        return self._synced
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    # Replication machinery
+    # ------------------------------------------------------------------
+
+    def _cast(self, update: Dict[str, Any]) -> None:
+        self.handle.cast(b"U" + json.dumps(update).encode("utf-8"))
+
+    def _on_view(self, view: View) -> None:
+        me = self._address
+        if self._was_founder is None:
+            # First view: a singleton founder is trivially synced; a
+            # joiner must wait for the coordinator's snapshot.
+            self._was_founder = view.size == 1
+            self._synced = self._was_founder
+        if self._synced and view.coordinator == me and view.size > 1:
+            # Send the snapshot to every member junior to us; only true
+            # joiners use it (synced members ignore snapshots).
+            snapshot = b"S" + json.dumps(self._data).encode("utf-8")
+            others = [m for m in view.members if m != me]
+            self.snapshots_sent += 1
+            self.handle.send(others, snapshot)
+
+    def _deliver(self, delivered: DeliveredMessage) -> None:
+        kind, payload = delivered.data[:1], delivered.data[1:]
+        if kind == b"S":
+            if not self._synced:
+                self._data = json.loads(payload.decode("utf-8"))
+                self._synced = True
+                buffered, self._buffer = self._buffer, []
+                for update in buffered:
+                    self._apply(update.data[1:])
+            return
+        if not self._synced:
+            self._buffer.append(delivered)
+            return
+        self._apply(payload)
+
+    def _apply(self, payload: bytes) -> None:
+        update = json.loads(payload.decode("utf-8"))
+        if update["op"] == "set":
+            self._data[update["key"]] = update["value"]
+        elif update["op"] == "del":
+            self._data.pop(update["key"], None)
+
+    def __repr__(self) -> str:
+        state = "synced" if self._synced else "syncing"
+        return f"<ReplicatedDict {self.handle.endpoint_address} {state} n={len(self)}>"

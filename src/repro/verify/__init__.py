@@ -1,0 +1,53 @@
+"""Executable specifications (the Section 8 methodology, in Python).
+
+The paper builds ML *reference implementations* of layers so that
+properties can be checked against real executions.  Our analogue keeps
+the production layers as the only implementation but makes the
+*specifications* executable: checkers that consume the structured
+traces and delivery logs a simulation produces and verify the claimed
+properties — virtual synchrony, FIFO/causal/total order, stability
+soundness — plus a small I/O-automaton-style framework for writing new
+specs over traces (Section 8's "combining this I/O automaton with other
+I/O automata").
+
+All checkers raise :class:`repro.errors.VerificationError` with a list
+of concrete violations, or return quietly.
+"""
+
+from repro.verify.order_checker import (
+    check_causal_order,
+    check_fifo_per_source,
+    check_total_order,
+)
+from repro.verify.spec import (
+    CrashSilenceSpec,
+    DeliveryGaplessSpec,
+    SingleTokenSpec,
+    TotalOrderGaplessSpec,
+    TraceSpec,
+    ViewEpochMonotoneSpec,
+    check_trace,
+)
+from repro.verify.stability_checker import check_stability_soundness
+from repro.verify.vs_checker import (
+    check_view_agreement,
+    check_view_synchrony_relacs,
+    check_virtual_synchrony,
+)
+
+__all__ = [
+    "CrashSilenceSpec",
+    "DeliveryGaplessSpec",
+    "SingleTokenSpec",
+    "TotalOrderGaplessSpec",
+    "TraceSpec",
+    "ViewEpochMonotoneSpec",
+    "check_causal_order",
+    "check_fifo_per_source",
+    "check_stability_soundness",
+    "check_total_order",
+    "check_trace",
+    "check_view_agreement",
+    "check_view_synchrony_relacs",
+    "check_virtual_synchrony",
+]

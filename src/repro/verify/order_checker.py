@@ -1,0 +1,131 @@
+"""Ordering checkers: FIFO, causal, and total delivery order.
+
+Each checker consumes the delivery logs of a set of group handles and
+verifies one of the paper's ordering properties (Table 4: P3/P4, P5,
+P6).  They are the executable form of the specifications Section 8
+wants for ordering layers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.group import DeliveredMessage, GroupHandle
+from repro.errors import VerificationError
+
+
+def _fail(violations: List[str], message: str) -> None:
+    if violations:
+        raise VerificationError(message, violations)
+
+
+def check_fifo_per_source(
+    handles: Iterable[GroupHandle],
+    sent_by: Dict[str, List[bytes]],
+) -> None:
+    """P3/P4: each receiver sees each source's casts in send order.
+
+    ``sent_by`` maps source endpoint strings to the bodies they cast,
+    in order (the test harness records this on the send side).
+    """
+    violations: List[str] = []
+    for handle in handles:
+        received: Dict[str, List[bytes]] = defaultdict(list)
+        for delivered in handle.delivery_log:
+            if delivered.was_cast:
+                received[str(delivered.source)].append(delivered.data)
+        for source, sent in sent_by.items():
+            got = received.get(source, [])
+            # The receiver may have a prefix (crash/partition) but never
+            # a permutation or gap followed by later traffic.
+            positions = {data: i for i, data in enumerate(sent)}
+            indexes = [positions[d] for d in got if d in positions]
+            if indexes != sorted(indexes):
+                violations.append(
+                    f"{handle.endpoint_address}: messages from {source} "
+                    f"delivered out of send order"
+                )
+            if indexes and indexes != list(range(indexes[0], indexes[0] + len(indexes))):
+                violations.append(
+                    f"{handle.endpoint_address}: gap inside the delivered "
+                    f"stream from {source}: indexes {indexes}"
+                )
+    _fail(violations, "FIFO order violated")
+
+
+def check_total_order(handles: Iterable[GroupHandle]) -> None:
+    """P6: all members deliver casts in one common order (per view).
+
+    Verified pairwise as prefix-consistency of the delivered (source,
+    data) sequences within each view: one member's sequence must be a
+    prefix of the other's.
+    """
+    handles = list(handles)
+    violations: List[str] = []
+    per_member: Dict[str, Dict[object, List[Tuple[str, bytes]]]] = {}
+    for handle in handles:
+        by_view: Dict[object, List[Tuple[str, bytes]]] = defaultdict(list)
+        for delivered in handle.delivery_log:
+            if delivered.was_cast and delivered.view is not None:
+                by_view[delivered.view.view_id].append(
+                    (str(delivered.source), delivered.data)
+                )
+        per_member[str(handle.endpoint_address)] = by_view
+    members = sorted(per_member)
+    for i, ma in enumerate(members):
+        for mb in members[i + 1 :]:
+            shared_views = set(per_member[ma]) & set(per_member[mb])
+            for view_id in shared_views:
+                sa = per_member[ma][view_id]
+                sb = per_member[mb][view_id]
+                shorter, longer = (sa, sb) if len(sa) <= len(sb) else (sb, sa)
+                if longer[: len(shorter)] != shorter:
+                    violations.append(
+                        f"view {view_id}: {ma} and {mb} disagree on delivery "
+                        f"order (first divergence at position "
+                        f"{_first_divergence(sa, sb)})"
+                    )
+    _fail(violations, "total order violated")
+
+
+def _first_divergence(sa, sb) -> int:
+    for i, (x, y) in enumerate(zip(sa, sb)):
+        if x != y:
+            return i
+    return min(len(sa), len(sb))
+
+
+def check_causal_order(handles: Iterable[GroupHandle]) -> None:
+    """P5: no message is delivered before its causal predecessors.
+
+    Uses the vector timestamps the CAUSAL_TS layer attached to each
+    delivery (``DeliveredMessage.info["vc"]``).  For every delivery m at
+    every member, each message m' with vc(m') < vc(m) (strictly smaller
+    vector) must already have been delivered there.
+    """
+    handles = list(handles)
+    violations: List[str] = []
+    for handle in handles:
+        delivered_vcs: List[Tuple[Dict, DeliveredMessage]] = []
+        for delivered in handle.delivery_log:
+            vc = delivered.info.get("vc")
+            if vc is None:
+                continue
+            for earlier_vc, earlier in delivered_vcs:
+                if _strictly_before(vc, earlier_vc):
+                    violations.append(
+                        f"{handle.endpoint_address}: delivered "
+                        f"{earlier.data!r} before its causal predecessor "
+                        f"{delivered.data!r}"
+                    )
+            delivered_vcs.append((vc, delivered))
+    _fail(violations, "causal order violated")
+
+
+def _strictly_before(vc_a: Dict, vc_b: Dict) -> bool:
+    """Whether vector ``vc_a`` happens-before ``vc_b``."""
+    keys = set(vc_a) | set(vc_b)
+    le = all(vc_a.get(k, 0) <= vc_b.get(k, 0) for k in keys)
+    lt = any(vc_a.get(k, 0) < vc_b.get(k, 0) for k in keys)
+    return le and lt

@@ -1,0 +1,175 @@
+"""I/O-automaton-style specifications over traces.
+
+Section 8: "Our initial work on this problem uses I/O automata ... to
+model the protocol executed by a Horus layer.  Important properties
+provided by the layer can then be verified by combining this I/O
+automaton with other I/O automata."
+
+A :class:`TraceSpec` is a small automaton: it holds state, consumes
+trace records as actions, and raises on an invariant violation.
+:func:`check_trace` composes several specs over one trace — the
+composition of automata, executable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.errors import VerificationError
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+class TraceSpec:
+    """Base class: a stateful invariant over a stream of trace records."""
+
+    name = "spec"
+
+    def step(self, record: TraceRecord) -> None:
+        """Consume one record; raise :class:`VerificationError` on violation."""
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Called after the last record, for end-of-trace invariants."""
+
+
+class ViewEpochMonotoneSpec(TraceSpec):
+    """Each endpoint installs strictly increasing view epochs."""
+
+    name = "view-epoch-monotone"
+
+    def __init__(self) -> None:
+        self._last: Dict[str, int] = {}
+
+    def step(self, record: TraceRecord) -> None:
+        if record.category != "view":
+            return
+        epoch = record.detail.get("vid")
+        if epoch is None:
+            return
+        previous = self._last.get(record.actor)
+        if previous is not None and epoch <= previous:
+            raise VerificationError(
+                f"{self.name}: {record.actor} installed epoch {epoch} "
+                f"after {previous}",
+                [repr(record)],
+            )
+        self._last[record.actor] = epoch
+
+
+class CrashSilenceSpec(TraceSpec):
+    """A crashed node performs no further actions (fail-stop).
+
+    World-level ``crash`` records name a node; afterwards no record may
+    be emitted by any actor on that node.
+    """
+
+    name = "crash-silence"
+
+    def __init__(self) -> None:
+        self._dead: Set[str] = set()
+
+    def step(self, record: TraceRecord) -> None:
+        if record.category == "crash":
+            self._dead.add(record.actor)
+            return
+        node = record.actor.split(":", 1)[0]
+        if node in self._dead:
+            raise VerificationError(
+                f"{self.name}: crashed node {node} acted after its crash",
+                [repr(record)],
+            )
+
+
+class DeliveryGaplessSpec(TraceSpec):
+    """MBRSHIP deliveries per (actor, origin, vid) are gapless from 1."""
+
+    name = "delivery-gapless"
+
+    def __init__(self) -> None:
+        self._next: Dict[tuple, int] = {}
+
+    def step(self, record: TraceRecord) -> None:
+        if record.category != "deliver" or record.detail.get("layer") != "MBRSHIP":
+            return
+        key = (record.actor, record.detail.get("origin"), record.detail.get("vid"))
+        seq = record.detail.get("seq")
+        expected = self._next.get(key, 1)
+        if seq != expected:
+            raise VerificationError(
+                f"{self.name}: {record.actor} delivered seq {seq} from "
+                f"{key[1]} in view {key[2]}, expected {expected}",
+                [repr(record)],
+            )
+        self._next[key] = expected + 1
+
+
+class TotalOrderGaplessSpec(TraceSpec):
+    """TOTAL deliveries per member are consecutive from gseq 1.
+
+    Combined with identical content checks this is the trace-level form
+    of property P6: everyone walks the same global sequence with no
+    holes.  (The counter resets with each view; the spec tracks resets
+    by accepting a return to gseq 1.)
+    """
+
+    name = "total-order-gapless"
+
+    def __init__(self) -> None:
+        self._next: Dict[str, int] = {}
+
+    def step(self, record: TraceRecord) -> None:
+        if record.category != "total_deliver":
+            return
+        gseq = record.detail.get("gseq")
+        expected = self._next.get(record.actor, 1)
+        if gseq != expected and gseq != 1:  # 1 = a view reset
+            raise VerificationError(
+                f"{self.name}: {record.actor} delivered gseq {gseq}, "
+                f"expected {expected}",
+                [repr(record)],
+            )
+        self._next[record.actor] = gseq + 1
+
+
+class SingleTokenSpec(TraceSpec):
+    """Token passes name one holder at a time (per passing member).
+
+    Each member's trace shows the token leaving it only after it was
+    the holder; globally, two members never pass the token in the same
+    gseq window — the uniqueness Section 9 says MBRSHIP's consistent
+    views guarantee.
+    """
+
+    name = "single-token"
+
+    def __init__(self) -> None:
+        self._last_pass_gseq: Dict[str, int] = {}
+
+    def step(self, record: TraceRecord) -> None:
+        if record.category != "token_pass":
+            return
+        gseq = record.detail.get("gseq", 0)
+        actor = record.actor
+        previous = self._last_pass_gseq.get(actor, 0)
+        if gseq < previous:
+            raise VerificationError(
+                f"{self.name}: {actor} passed the token at gseq {gseq} "
+                f"after already passing it at {previous}",
+                [repr(record)],
+            )
+        self._last_pass_gseq[actor] = gseq
+
+
+def check_trace(trace: TraceRecorder, specs: Iterable[TraceSpec]) -> List[str]:
+    """Run every spec over the whole trace (the composed automaton).
+
+    Returns the names of the specs that ran; raises on the first
+    violation with the offending record attached.
+    """
+    spec_list = list(specs)
+    for record in trace:
+        for spec in spec_list:
+            spec.step(record)
+    for spec in spec_list:
+        spec.finish()
+    return [spec.name for spec in spec_list]

@@ -1,0 +1,70 @@
+"""Stability soundness checker.
+
+Section 9 defines a message as stable once "it has been processed by
+all its surviving destination processes".  The checker validates the
+STABLE/PINWHEEL layers' reports against ground truth: any (origin, sid)
+at or below a member's reported stability frontier must actually have
+been delivered — and acknowledged — at every member of that view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.group import GroupHandle
+from repro.errors import VerificationError
+
+
+def check_stability_soundness(
+    handles: Iterable[GroupHandle],
+    stability_layer: str = "STABLE",
+) -> None:
+    """Frontier claims never exceed what members actually delivered.
+
+    Reads each member's live stability layer (via ``focus``) and checks
+    its frontier per origin against every member's delivery log for the
+    current view.
+    """
+    handles = list(handles)
+    violations: List[str] = []
+    # Ground truth: per member, per origin, how many casts were delivered
+    # in the *current* view.
+    delivered_counts: Dict[str, Dict[str, int]] = {}
+    for handle in handles:
+        if handle.view is None:
+            continue
+        counts: Dict[str, int] = {}
+        for delivered in handle.delivery_log:
+            if (
+                delivered.was_cast
+                and delivered.view is not None
+                and delivered.view.view_id == handle.view.view_id
+                and "stable_id" in delivered.info
+            ):
+                origin, sid = delivered.info["stable_id"]
+                counts[str(origin)] = max(counts.get(str(origin), 0), sid)
+        delivered_counts[str(handle.endpoint_address)] = counts
+    for handle in handles:
+        if handle.left or handle.view is None:
+            continue
+        try:
+            layer = handle.focus(stability_layer)
+        except Exception:
+            continue
+        frontier = layer.stability_frontier()
+        for origin, stable_sid in frontier.items():
+            if stable_sid == 0:
+                continue
+            for member in handle.view.members:
+                counts = delivered_counts.get(str(member))
+                if counts is None:
+                    continue
+                actually = counts.get(str(origin), 0)
+                if actually < stable_sid:
+                    violations.append(
+                        f"{handle.endpoint_address} reports ({origin}, "
+                        f"{stable_sid}) stable, but {member} only delivered "
+                        f"{actually} from that origin"
+                    )
+    if violations:
+        raise VerificationError("stability report unsound", violations)

@@ -1,0 +1,131 @@
+"""Virtual synchrony checkers.
+
+These validate, over completed runs, the guarantees Section 5 states:
+
+* **View agreement** — "Each member in the current view is guaranteed
+  either to accept that same view, or to be removed from that view":
+  any two members that install a view with the same identifier must
+  have installed identical membership lists, and each member's view
+  epochs must be strictly increasing.
+* **Virtual synchrony** — "Messages sent in the current view are
+  delivered to the surviving members of the current view": any two
+  members that both *complete* a view (install its successor) must have
+  delivered exactly the same per-source message sequence inside it.
+* **Relacs view synchrony** (Section 9) — concurrent views (same epoch,
+  different identity) must be non-overlapping.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.group import GroupHandle
+from repro.core.view import ViewId
+from repro.errors import VerificationError
+
+
+def _fail(violations: List[str], message: str) -> None:
+    if violations:
+        raise VerificationError(message, violations)
+
+
+def check_view_agreement(handles: Iterable[GroupHandle]) -> None:
+    """Same ViewId ⇒ same members; per-member epochs strictly increase."""
+    handles = list(handles)
+    violations: List[str] = []
+    seen: Dict[ViewId, Tuple] = {}
+    for handle in handles:
+        epochs = [v.view_id.epoch for v in handle.view_history]
+        if epochs != sorted(set(epochs)):
+            violations.append(
+                f"{handle.endpoint_address}: view epochs not strictly "
+                f"increasing: {epochs}"
+            )
+        for view in handle.view_history:
+            previous = seen.get(view.view_id)
+            if previous is None:
+                seen[view.view_id] = view.members
+            elif previous != view.members:
+                violations.append(
+                    f"view {view.view_id} installed with different members: "
+                    f"{previous} vs {view.members}"
+                )
+    _fail(violations, "view agreement violated")
+
+
+def _deliveries_by_view(
+    handle: GroupHandle,
+) -> Dict[ViewId, List[Tuple[str, bytes]]]:
+    """Per view: the (source, data) sequence delivered while it was current."""
+    result: Dict[ViewId, List[Tuple[str, bytes]]] = defaultdict(list)
+    for delivered in handle.delivery_log:
+        if delivered.view is not None and delivered.was_cast:
+            result[delivered.view.view_id].append(
+                (str(delivered.source), delivered.data)
+            )
+    return result
+
+
+def check_virtual_synchrony(handles: Iterable[GroupHandle]) -> None:
+    """Members that complete a view *together* delivered identical
+    per-source streams inside it.
+
+    A member *completes* view V when it installs a successor view; a
+    member that crashed while V was current is exempt for V.  Under the
+    extended virtual synchrony of Section 9, members that move to
+    *different* successor views (they were partitioned) are allowed
+    different delivery sets, so the comparison groups members by the
+    (view, successor-view) transition they took.
+    """
+    handles = list(handles)
+    violations: List[str] = []
+    # Who completed which view, toward which successor?
+    completed: Dict[Tuple[ViewId, ViewId], List[GroupHandle]] = defaultdict(list)
+    for handle in handles:
+        history = handle.view_history
+        for view, successor in zip(history, history[1:]):
+            completed[(view.view_id, successor.view_id)].append(handle)
+    for (view_id, _successor_id), members in completed.items():
+        if len(members) < 2:
+            continue
+        streams = {}
+        for handle in members:
+            per_view = _deliveries_by_view(handle)
+            per_source: Dict[str, List[bytes]] = defaultdict(list)
+            for source, data in per_view.get(view_id, []):
+                per_source[source].append(data)
+            streams[str(handle.endpoint_address)] = dict(per_source)
+        reference_member, reference = next(iter(streams.items()))
+        for member, stream in streams.items():
+            if stream != reference:
+                violations.append(
+                    f"view {view_id}: {member} delivered {_summ(stream)} but "
+                    f"{reference_member} delivered {_summ(reference)}"
+                )
+    _fail(violations, "virtual synchrony violated")
+
+
+def _summ(stream: Dict[str, List[bytes]]) -> str:
+    return "{" + ", ".join(f"{s}:{len(msgs)}" for s, msgs in sorted(stream.items())) + "}"
+
+
+def check_view_synchrony_relacs(handles: Iterable[GroupHandle]) -> None:
+    """Concurrent views are identical or non-overlapping (Relacs)."""
+    handles = list(handles)
+    violations: List[str] = []
+    by_epoch: Dict[int, Dict[ViewId, Tuple]] = defaultdict(dict)
+    for handle in handles:
+        for view in handle.view_history:
+            by_epoch[view.view_id.epoch][view.view_id] = view.members
+    for epoch, views in by_epoch.items():
+        ids = list(views)
+        for i, vid_a in enumerate(ids):
+            for vid_b in ids[i + 1 :]:
+                overlap = set(views[vid_a]) & set(views[vid_b])
+                if overlap:
+                    violations.append(
+                        f"concurrent views {vid_a} and {vid_b} share members "
+                        f"{sorted(str(m) for m in overlap)}"
+                    )
+    _fail(violations, "Relacs view synchrony violated")

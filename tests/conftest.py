@@ -1,0 +1,75 @@
+"""Shared test helpers.
+
+Most integration tests need the same scaffolding: a world, a few
+processes, and a group everyone has joined through some stack.  The
+helpers here keep individual tests focused on the behaviour under test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro import World
+from repro.core.group import GroupHandle
+
+
+def join_group(
+    world: World,
+    names: List[str],
+    stack: str,
+    group: str = "grp",
+    settle: float = 0.3,
+    final_settle: float = 2.0,
+) -> Dict[str, GroupHandle]:
+    """Join one endpoint per process name, staggered, and let views settle."""
+    handles: Dict[str, GroupHandle] = {}
+    for name in names:
+        endpoint = world.process(name).endpoint()
+        handles[name] = endpoint.join(group, stack=stack)
+        world.run(settle)
+    world.run(final_settle)
+    return handles
+
+
+def drain(handle: GroupHandle) -> List[bytes]:
+    """Pop every queued message body from a handle's inbox."""
+    out: List[bytes] = []
+    while True:
+        delivered = handle.receive()
+        if delivered is None:
+            return out
+        out.append(delivered.data)
+
+
+def manual_destinations(handles: Dict[str, GroupHandle]) -> None:
+    """Install the full member set as destinations on every handle
+    (for membership-less stacks, where a view is just a dest set)."""
+    members = [h.endpoint_address for h in handles.values()]
+    for handle in handles.values():
+        handle.set_destinations(members)
+
+
+@pytest.fixture
+def lan_world() -> World:
+    """A deterministic near-perfect LAN world."""
+    return World(seed=42, network="lan")
+
+
+@pytest.fixture
+def lossy_world() -> World:
+    """A hostile datagram world (loss, reordering, duplication)."""
+    from repro import FaultModel
+
+    return World(
+        seed=42,
+        network="udp",
+        fault_model=FaultModel(
+            base_delay=0.004,
+            jitter=0.002,
+            loss_rate=0.08,
+            duplicate_rate=0.01,
+            reorder_rate=0.05,
+        ),
+    )

@@ -1,0 +1,148 @@
+"""Tests for the Section 3 concurrency primitives (monitor, event counter)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.concurrency import EventCounter, MonitorLock
+from repro.sim.scheduler import Scheduler
+
+
+class TestMonitorLock:
+    def test_one_shot_runs_immediately_when_free(self):
+        sched = Scheduler()
+        monitor = MonitorLock(sched)
+        ran = []
+        monitor.run(lambda: ran.append(1))
+        assert ran == [1]
+        assert not monitor.occupied
+
+    def test_spanning_occupancy_queues_others(self):
+        sched = Scheduler()
+        monitor = MonitorLock(sched)
+        order = []
+        monitor.enter(lambda: order.append("first-in"))
+        assert monitor.occupied
+        monitor.run(lambda: order.append("second"))
+        monitor.run(lambda: order.append("third"))
+        assert order == ["first-in"]  # others are parked
+        assert monitor.waiting == 2
+        monitor.exit()
+        sched.run()
+        assert order == ["first-in", "second", "third"]  # FIFO admission
+
+    def test_exit_without_occupancy_rejected(self):
+        with pytest.raises(SimulationError):
+            MonitorLock(Scheduler()).exit()
+
+    def test_auto_exit_releases_even_on_exception(self):
+        sched = Scheduler()
+        monitor = MonitorLock(sched)
+
+        def boom():
+            raise ValueError("inside the monitor")
+
+        with pytest.raises(ValueError):
+            monitor.run(boom)
+        assert not monitor.occupied
+        ran = []
+        monitor.run(lambda: ran.append(1))
+        assert ran == [1]
+
+    def test_occupant_spanning_scheduled_events(self):
+        """The paper's point: one 'thread' active per group object even
+        while its work spans multiple scheduled steps."""
+        sched = Scheduler()
+        monitor = MonitorLock(sched)
+        trace = []
+
+        def long_running():
+            trace.append("start")
+            sched.call_after(1.0, finish)
+
+        def finish():
+            trace.append("finish")
+            monitor.exit()
+
+        monitor.enter(long_running)
+        monitor.run(lambda: trace.append("intruder"))
+        sched.run()
+        assert trace == ["start", "finish", "intruder"]
+
+    def test_admission_counter(self):
+        sched = Scheduler()
+        monitor = MonitorLock(sched)
+        for _ in range(5):
+            monitor.run(lambda: None)
+        assert monitor.admissions == 5
+
+
+class TestEventCounter:
+    def test_waiters_release_in_threshold_order(self):
+        sched = Scheduler()
+        counter = EventCounter(sched)
+        order = []
+        counter.await_value(3, lambda: order.append("third"))
+        counter.await_value(1, lambda: order.append("first"))
+        counter.await_value(2, lambda: order.append("second"))
+        counter.advance(3)
+        sched.run()
+        assert order == ["first", "second", "third"]
+
+    def test_equal_thresholds_release_in_arrival_order(self):
+        sched = Scheduler()
+        counter = EventCounter(sched)
+        order = []
+        for name in ("a", "b", "c"):
+            counter.await_value(1, lambda n=name: order.append(n))
+        counter.advance()
+        sched.run()
+        assert order == ["a", "b", "c"]
+
+    def test_already_satisfied_waiter_runs(self):
+        sched = Scheduler()
+        counter = EventCounter(sched)
+        counter.advance(5)
+        ran = []
+        counter.await_value(2, lambda: ran.append(1))
+        sched.run()
+        assert ran == [1]
+
+    def test_partial_advance_releases_partially(self):
+        sched = Scheduler()
+        counter = EventCounter(sched)
+        order = []
+        counter.await_value(1, lambda: order.append(1))
+        counter.await_value(2, lambda: order.append(2))
+        counter.advance()
+        sched.run()
+        assert order == [1]
+        counter.advance()
+        sched.run()
+        assert order == [1, 2]
+
+    def test_invalid_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            EventCounter(Scheduler()).advance(0)
+
+    def test_sequenced_upcall_zones(self):
+        """Section 3's scheme: each upcall gets a sequence number; the
+        exclusion zone is entered in sequence order regardless of the
+        order the handlers become ready."""
+        sched = Scheduler()
+        counter = EventCounter(sched)
+        entered = []
+
+        def make_zone(ticket):
+            def zone():
+                entered.append(ticket)
+                counter.advance()  # leaving the zone admits the next
+
+            return zone
+
+        # Upcalls 1..4 become ready out of order; zone n waits for count n.
+        tickets = [3, 1, 4, 2]
+        for ticket in tickets:
+            counter.await_value(ticket, make_zone(ticket))
+        counter.advance()  # upcall 1's turn
+        sched.run()
+        assert entered == [1, 2, 3, 4]

@@ -1,0 +1,374 @@
+"""Integration tests for the MBRSHIP layer: virtual synchrony (Section 5)."""
+
+from repro import World
+
+from conftest import join_group
+
+STACK = "MBRSHIP:FRAG:NAK:COM"
+
+
+def views_agree(handles, names=None):
+    names = names or list(handles)
+    views = {(handles[n].view.view_id, handles[n].view.members) for n in names}
+    return len(views) == 1
+
+
+class TestJoin:
+    def test_first_member_gets_singleton_view(self, lan_world):
+        handle = lan_world.process("a").endpoint().join("grp", stack=STACK)
+        lan_world.run(0.5)
+        assert handle.view is not None
+        assert handle.view.members == (handle.endpoint_address,)
+
+    def test_members_converge_on_same_view(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c", "d"], STACK)
+        assert views_agree(handles)
+        assert handles["a"].view.size == 4
+
+    def test_age_order_by_join_time(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        members = handles["a"].view.members
+        assert members[0] == handles["a"].endpoint_address
+        assert members[1] == handles["b"].endpoint_address
+
+    def test_view_history_is_monotone(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        for handle in handles.values():
+            epochs = [v.view_id.epoch for v in handle.view_history]
+            assert epochs == sorted(epochs)
+            assert len(set(epochs)) == len(epochs)
+
+    def test_concurrent_joins_converge(self):
+        world = World(seed=21, network="lan")
+        handles = {}
+        for name in ["a", "b", "c", "d", "e"]:
+            handles[name] = world.process(name).endpoint().join("grp", stack=STACK)
+        world.run(6.0)
+        assert views_agree(handles)
+        assert handles["a"].view.size == 5
+
+
+class TestMessaging:
+    def test_cast_delivered_to_all_members(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        handles["b"].cast(b"hello")
+        lan_world.run(1.0)
+        for handle in handles.values():
+            assert [m.data for m in handle.delivery_log] == [b"hello"]
+
+    def test_per_source_fifo(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        for i in range(30):
+            handles["a"].cast(f"a{i:02d}".encode())
+            handles["b"].cast(f"b{i:02d}".encode())
+        lan_world.run(3.0)
+        for handle in handles.values():
+            from_a = [m.data for m in handle.delivery_log if m.source.node == "a"]
+            from_b = [m.data for m in handle.delivery_log if m.source.node == "b"]
+            assert from_a == sorted(from_a)
+            assert from_b == sorted(from_b)
+            assert len(from_a) == len(from_b) == 30
+
+    def test_casts_survive_lossy_network(self, lossy_world):
+        handles = join_group(lossy_world, ["a", "b", "c"], STACK, final_settle=4.0)
+        for i in range(40):
+            handles["a"].cast(f"m{i:02d}".encode())
+        lossy_world.run(20.0)
+        for handle in handles.values():
+            got = [m.data for m in handle.delivery_log]
+            assert got == [f"m{i:02d}".encode() for i in range(40)]
+
+    def test_subset_send_within_view(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        handles["a"].send([handles["c"].endpoint_address], b"psst")
+        lan_world.run(1.0)
+        assert [m.data for m in handles["c"].delivery_log] == [b"psst"]
+        assert handles["b"].delivery_log == []
+
+
+class TestCrash:
+    def test_crash_removes_member(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        lan_world.crash("b")
+        lan_world.run(6.0)
+        for name in ("a", "c"):
+            view = handles[name].view
+            assert view.size == 2
+            assert handles["b"].endpoint_address not in view.members
+        assert views_agree(handles, ["a", "c"])
+
+    def test_coordinator_crash_elects_next_oldest(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        lan_world.crash("a")  # a is the coordinator
+        lan_world.run(6.0)
+        for name in ("b", "c"):
+            assert handles[name].view.coordinator == handles["b"].endpoint_address
+        assert views_agree(handles, ["b", "c"])
+
+    def test_figure2_partially_delivered_message_relayed(self, lan_world):
+        """Figure 2: D's message M reached only C before D crashed; the
+        flush must deliver M at every survivor before the new view."""
+        handles = join_group(lan_world, ["a", "b", "c", "d"], STACK)
+        lan_world.partition({"c", "d"}, {"a", "b"})
+        handles["d"].cast(b"M")
+        lan_world.run(0.05)  # M reaches C only
+        lan_world.crash("d")
+        lan_world.heal()
+        lan_world.run(8.0)
+        for name in ("a", "b", "c"):
+            handle = handles[name]
+            assert [m.data for m in handle.delivery_log] == [b"M"]
+            assert handle.view.size == 3
+        assert views_agree(handles, ["a", "b", "c"])
+
+    def test_virtual_synchrony_same_messages_before_view_change(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c", "d"], STACK)
+        for i in range(10):
+            handles["d"].cast(f"d{i}".encode())
+        lan_world.run(0.01)  # messages still in flight
+        lan_world.crash("d")
+        lan_world.run(8.0)
+        sets = {
+            tuple(m.data for m in handles[n].delivery_log) for n in ("a", "b", "c")
+        }
+        assert len(sets) == 1  # identical delivery sequences per source
+
+    def test_cascade_of_crashes(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c", "d", "e"], STACK)
+        lan_world.crash("b")
+        lan_world.run(0.5)
+        lan_world.crash("c")
+        lan_world.run(10.0)
+        survivors = ["a", "d", "e"]
+        for name in survivors:
+            assert handles[name].view.size == 3
+        assert views_agree(handles, survivors)
+
+    def test_crash_during_flush_restarts(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c", "d"], STACK)
+        lan_world.crash("d")
+        lan_world.run(1.6)  # suspicion raised, flush under way
+        lan_world.crash("a")  # coordinator dies mid-flush
+        lan_world.run(10.0)
+        for name in ("b", "c"):
+            assert handles[name].view.size == 2
+            assert handles[name].view.coordinator == handles["b"].endpoint_address
+        assert views_agree(handles, ["b", "c"])
+
+    def test_casts_during_view_change_are_queued_not_lost(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        lan_world.crash("c")
+        lan_world.run(1.6)  # mid-flush
+        handles["a"].cast(b"during-flush")
+        lan_world.run(8.0)
+        for name in ("a", "b"):
+            assert b"during-flush" in [m.data for m in handles[name].delivery_log]
+
+
+class TestLeave:
+    def test_graceful_leave_shrinks_view(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        handles["b"].leave()
+        lan_world.run(4.0)
+        assert handles["b"].left
+        for name in ("a", "c"):
+            assert handles[name].view.size == 2
+            assert handles["b"].endpoint_address not in handles[name].view.members
+
+    def test_coordinator_leave_hands_over(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        handles["a"].leave()
+        lan_world.run(4.0)
+        assert handles["a"].left
+        for name in ("b", "c"):
+            assert handles[name].view.coordinator == handles["b"].endpoint_address
+
+    def test_last_member_leave(self, lan_world):
+        handle = lan_world.process("a").endpoint().join("grp", stack=STACK)
+        lan_world.run(0.5)
+        handle.leave()
+        lan_world.run(1.0)
+        assert handle.left
+
+    def test_rejoin_after_leave_uses_new_endpoint(self, lan_world):
+        handles = join_group(lan_world, ["a", "b"], STACK)
+        handles["b"].leave()
+        lan_world.run(4.0)
+        fresh = lan_world.process("b").endpoint().join("grp", stack=STACK)
+        lan_world.run(4.0)
+        assert fresh.view is not None
+        assert fresh.view.size == 2
+        assert handles["a"].view.members == fresh.view.members
+
+
+class TestPartitions:
+    def _partition_world(self, policy):
+        world = World(seed=11, network="lan")
+        handles = join_group(
+            world, ["a", "b", "c", "d", "e"], f"MBRSHIP(partition='{policy}'):FRAG:NAK:COM"
+        )
+        world.partition({"a", "b", "c"}, {"d", "e"})
+        world.run(5.0)
+        return world, handles
+
+    def test_evs_both_sides_progress(self):
+        world, handles = self._partition_world("evs")
+        assert {str(m) for m in handles["a"].view.members} == {"a:0", "b:0", "c:0"}
+        assert {str(m) for m in handles["d"].view.members} == {"d:0", "e:0"}
+        for n in "abcde":
+            assert handles[n].focus("MBRSHIP").state == "normal"
+
+    def test_primary_minority_blocks(self):
+        world, handles = self._partition_world("primary")
+        assert handles["a"].view.size == 3  # majority reconfigures
+        assert handles["d"].focus("MBRSHIP").state == "blocked"
+        assert handles["e"].focus("MBRSHIP").state == "blocked"
+
+    def test_primary_minority_rejoins_after_heal(self):
+        world, handles = self._partition_world("primary")
+        world.heal()
+        world.run(10.0)
+        for n in "abcde":
+            assert handles[n].view.size == 5
+            assert handles[n].focus("MBRSHIP").state == "normal"
+        assert views_agree(handles)
+
+    def test_evs_manual_merge_after_heal(self):
+        world, handles = self._partition_world("evs")
+        world.heal()
+        world.run(1.0)
+        handles["d"].merge_with(handles["a"].endpoint_address)
+        world.run(10.0)
+        for n in "abcde":
+            assert handles[n].view.size == 5
+        assert views_agree(handles)
+
+    def test_partition_scoped_delivery(self):
+        world, handles = self._partition_world("evs")
+        handles["a"].cast(b"majority")
+        handles["d"].cast(b"minority")
+        world.run(2.0)
+        for n in "abc":
+            assert [m.data for m in handles[n].delivery_log] == [b"majority"]
+        for n in "de":
+            assert [m.data for m in handles[n].delivery_log] == [b"minority"]
+
+    def test_relacs_views_identical_or_disjoint(self):
+        world, handles = self._partition_world("relacs")
+        majority = {handles[n].view.members for n in "abc"}
+        minority = {handles[n].view.members for n in "de"}
+        assert len(majority) == 1 and len(minority) == 1
+        assert not set(next(iter(majority))) & set(next(iter(minority)))
+
+
+class TestStress:
+    def test_churn_with_traffic_converges(self):
+        world = World(seed=33, network="lan")
+        handles = join_group(world, ["a", "b", "c", "d"], STACK)
+        for i in range(10):
+            handles["a"].cast(f"pre{i}".encode())
+        world.run(1.0)
+        world.crash("c")
+        for i in range(10):
+            handles["b"].cast(f"mid{i}".encode())
+        world.run(8.0)
+        joiner = world.process("e").endpoint().join("grp", stack=STACK)
+        world.run(6.0)
+        survivors = [handles["a"], handles["b"], handles["d"], joiner]
+        views = {(h.view.view_id, h.view.members) for h in survivors}
+        assert len(views) == 1
+        # Traffic cast after the crash reached every survivor in order.
+        for h in (handles["a"], handles["b"], handles["d"]):
+            mid = [m.data for m in h.delivery_log if m.data.startswith(b"mid")]
+            assert mid == [f"mid{i}".encode() for i in range(10)]
+
+
+class TestThreeWayPartition:
+    """A 6-member group split three ways, healed, and chain-merged."""
+
+    def _split_world(self):
+        world = World(seed=44, network="lan")
+        handles = join_group(
+            world, ["a", "b", "c", "d", "e", "f"],
+            "MERGE(probe_period=0.5):MBRSHIP(partition='evs'):FRAG:NAK:COM",
+        )
+        world.partition({"a", "b"}, {"c", "d"}, {"e", "f"})
+        world.run(6.0)
+        return world, handles
+
+    def test_three_components_each_progress(self):
+        world, handles = self._split_world()
+        for pair in (("a", "b"), ("c", "d"), ("e", "f")):
+            views = {handles[n].view.members for n in pair}
+            assert len(views) == 1
+            assert handles[pair[0]].view.size == 2
+
+    def test_components_chain_merge_after_heal(self):
+        world, handles = self._split_world()
+        world.heal()
+        world.run(25.0)  # auto-merge probes chain the three back together
+        views = {(handles[n].view.view_id, handles[n].view.members)
+                 for n in "abcdef"}
+        assert len(views) == 1
+        assert handles["a"].view.size == 6
+        from repro.verify import check_view_agreement
+
+        check_view_agreement(handles.values())
+
+    def test_messages_scoped_per_component_then_flow_after_merge(self):
+        world, handles = self._split_world()
+        handles["a"].cast(b"from-ab")
+        handles["c"].cast(b"from-cd")
+        handles["e"].cast(b"from-ef")
+        world.run(2.0)
+        assert [m.data for m in handles["b"].delivery_log] == [b"from-ab"]
+        assert [m.data for m in handles["d"].delivery_log] == [b"from-cd"]
+        assert [m.data for m in handles["f"].delivery_log] == [b"from-ef"]
+        world.heal()
+        world.run(25.0)
+        handles["a"].cast(b"reunited")
+        world.run(2.0)
+        for n in "abcdef":
+            assert handles[n].delivery_log[-1].data == b"reunited"
+
+
+class TestStorePruning:
+    """The relay store logs only unstable messages (Section 5's note)."""
+
+    def test_long_lived_view_store_stays_bounded(self):
+        world = World(seed=51, network="lan")
+        handles = join_group(world, ["a", "b", "c"],
+                             "MBRSHIP(stability_period=0.5):FRAG:NAK:COM")
+        for batch in range(10):
+            for i in range(20):
+                handles["a"].cast(f"b{batch}i{i}".encode())
+            world.run(2.0)  # several stability gossip rounds per batch
+        layer = handles["b"].focus("MBRSHIP")
+        assert layer.store_pruned > 100  # pruning really happened
+        assert len(layer.store) < 100  # far below the 200 casts delivered
+        # And delivery is still complete and ordered.
+        got = [m.data for m in handles["c"].delivery_log]
+        assert len(got) == 200
+
+    def test_pruning_never_breaks_the_flush_guarantee(self):
+        """Messages pruned as stable can never be needed by a relay: the
+        Figure 2 scenario still holds after heavy pruning."""
+        world = World(seed=52, network="lan")
+        handles = join_group(world, ["a", "b", "c", "d"],
+                             "MBRSHIP(stability_period=0.3):FRAG:NAK:COM")
+        for i in range(50):
+            handles["d"].cast(f"old{i}".encode())
+        world.run(5.0)  # everything delivered and mostly pruned
+        world.partition({"c", "d"}, {"a", "b"})
+        handles["d"].cast(b"M")
+        world.run(0.05)
+        world.crash("d")
+        world.heal()
+        world.run(8.0)
+        for name in ("a", "b", "c"):
+            got = [m.data for m in handles[name].delivery_log]
+            assert got[-1] == b"M"
+            assert len(got) == 51
+        from repro.verify import check_virtual_synchrony
+
+        check_virtual_synchrony([handles[n] for n in "abc"])

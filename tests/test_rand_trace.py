@@ -1,0 +1,92 @@
+"""Unit tests for randomness streams and trace recording."""
+
+from repro.sim.rand import RandomRouter, derive_seed
+from repro.sim.trace import TraceRecorder
+
+
+class TestRandomRouter:
+    def test_streams_are_deterministic(self):
+        a = RandomRouter(seed=1).stream("net")
+        b = RandomRouter(seed=1).stream("net")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_are_independent_by_name(self):
+        router = RandomRouter(seed=1)
+        a = router.stream("a")
+        b = router.stream("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_streams_cached_by_name(self):
+        router = RandomRouter(seed=1)
+        assert router.stream("x") is router.stream("x")
+
+    def test_adding_consumer_does_not_perturb_existing(self):
+        r1 = RandomRouter(seed=9)
+        s1 = r1.stream("net")
+        first = [s1.random() for _ in range(5)]
+
+        r2 = RandomRouter(seed=9)
+        r2.stream("other")  # a new consumer registered first
+        s2 = r2.stream("net")
+        assert [s2.random() for _ in range(5)] == first
+
+    def test_different_seeds_differ(self):
+        a = RandomRouter(seed=1).stream("net")
+        b = RandomRouter(seed=2).stream("net")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_independent(self):
+        router = RandomRouter(seed=1)
+        child = router.fork("child")
+        assert child.seed != router.seed
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", "p1", k=1)
+        trace.record(2.0, "b", "p2", k=2)
+        assert [r.category for r in trace] == ["a", "b"]
+        assert trace.records[0].detail == {"k": 1}
+
+    def test_disabled_recorder_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "a", "p1")
+        assert len(trace) == 0
+
+    def test_by_category_and_actor(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "deliver", "p1")
+        trace.record(2.0, "view", "p1")
+        trace.record(3.0, "deliver", "p2")
+        assert len(trace.by_category("deliver")) == 2
+        assert len(trace.by_actor("p1")) == 2
+
+    def test_select_with_detail_filters(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "deliver", "p1", seq=1)
+        trace.record(2.0, "deliver", "p1", seq=2)
+        hits = list(trace.select(category="deliver", seq=2))
+        assert len(hits) == 1
+        assert hits[0].time == 2.0
+
+    def test_subscribe_sees_live_records(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(1.0, "a", "p1")
+        assert len(seen) == 1
+
+    def test_clear_keeps_listeners(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(1.0, "a", "p1")
+        trace.clear()
+        assert len(trace) == 0
+        trace.record(2.0, "b", "p1")
+        assert len(seen) == 2

@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import Scheduler
+
+
+def test_starts_at_time_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_call_after_advances_time():
+    sched = Scheduler()
+    fired = []
+    sched.call_after(1.5, fired.append, "x")
+    sched.run()
+    assert fired == ["x"]
+    assert sched.now == 1.5
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    order = []
+    sched.call_after(2.0, order.append, "late")
+    sched.call_after(1.0, order.append, "early")
+    sched.call_after(3.0, order.append, "latest")
+    sched.run()
+    assert order == ["early", "late", "latest"]
+
+
+def test_ties_break_by_insertion_order():
+    sched = Scheduler()
+    order = []
+    for i in range(10):
+        sched.call_after(1.0, order.append, i)
+    sched.run()
+    assert order == list(range(10))
+
+
+def test_call_soon_runs_at_current_time():
+    sched = Scheduler()
+    times = []
+    sched.call_after(1.0, lambda: sched.call_soon(lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [1.0]
+
+
+def test_cancel_prevents_execution():
+    sched = Scheduler()
+    fired = []
+    handle = sched.call_after(1.0, fired.append, "no")
+    handle.cancel()
+    sched.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sched = Scheduler()
+    handle = sched.call_after(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sched.pending() == 0
+
+
+def test_run_until_stops_at_deadline():
+    sched = Scheduler()
+    fired = []
+    sched.call_after(1.0, fired.append, "a")
+    sched.call_after(5.0, fired.append, "b")
+    sched.run(until=2.0)
+    assert fired == ["a"]
+    assert sched.now == 2.0  # time advances to the deadline
+    sched.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_time_even_when_idle():
+    sched = Scheduler()
+    sched.run(until=10.0)
+    assert sched.now == 10.0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Scheduler().call_after(-0.1, lambda: None)
+
+
+def test_schedule_in_the_past_rejected():
+    sched = Scheduler()
+    sched.call_after(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.call_at(1.0, lambda: None)
+
+
+def test_step_returns_false_when_empty():
+    assert Scheduler().step() is False
+
+
+def test_events_can_schedule_more_events():
+    sched = Scheduler()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sched.call_after(1.0, chain, n + 1)
+
+    sched.call_soon(chain, 0)
+    sched.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sched.now == 5.0
+
+
+def test_max_events_bound():
+    sched = Scheduler()
+
+    def forever():
+        sched.call_after(0.001, forever)
+
+    sched.call_soon(forever)
+    executed = sched.run(max_events=100)
+    assert executed == 100
+
+
+def test_run_until_idle_detects_livelock():
+    sched = Scheduler()
+
+    def forever():
+        sched.call_after(0.001, forever)
+
+    sched.call_soon(forever)
+    with pytest.raises(SimulationError):
+        sched.run_until_idle(max_events=50)
+
+
+def test_events_executed_counter():
+    sched = Scheduler()
+    for _ in range(7):
+        sched.call_soon(lambda: None)
+    sched.run()
+    assert sched.events_executed == 7
+
+
+def test_pending_ignores_cancelled():
+    sched = Scheduler()
+    keep = sched.call_after(1.0, lambda: None)
+    drop = sched.call_after(2.0, lambda: None)
+    drop.cancel()
+    assert sched.pending() == 1
+    keep.cancel()
+    assert sched.pending() == 0
+
+
+def test_scheduler_not_reentrant():
+    sched = Scheduler()
+    errors = []
+
+    def reenter():
+        try:
+            sched.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sched.call_soon(reenter)
+    sched.run()
+    assert len(errors) == 1

@@ -1,0 +1,345 @@
+"""Tests for the service layers: RPC, SYNC (clocks), REALTIME, KEYDIST."""
+
+import pytest
+
+from repro import World
+
+from conftest import join_group
+
+
+class TestRpc:
+    STACK = "RPC:MBRSHIP:FRAG:NAK:COM"
+
+    def _group(self, world):
+        return join_group(world, ["client", "server"], self.STACK)
+
+    def test_request_reply(self, lan_world):
+        handles = self._group(lan_world)
+        handles["server"].focus("RPC").register_handler(
+            lambda method, body, caller: body.upper()
+        )
+        replies = []
+        handles["client"].focus("RPC").call(
+            handles["server"].endpoint_address,
+            "echo",
+            b"hello rpc",
+            on_reply=lambda body, err: replies.append((body, err)),
+        )
+        lan_world.run(1.0)
+        assert replies == [(b"HELLO RPC", None)]
+
+    def test_method_name_passed(self, lan_world):
+        handles = self._group(lan_world)
+        seen = []
+
+        def handler(method, body, caller):
+            seen.append((method, caller))
+            return b"ok"
+
+        handles["server"].focus("RPC").register_handler(handler)
+        handles["client"].focus("RPC").call(
+            handles["server"].endpoint_address, "do_thing", b"",
+            on_reply=lambda *a: None,
+        )
+        lan_world.run(1.0)
+        assert seen[0][0] == "do_thing"
+        assert seen[0][1] == handles["client"].endpoint_address
+
+    def test_server_exception_becomes_error(self, lan_world):
+        handles = self._group(lan_world)
+
+        def handler(method, body, caller):
+            raise ValueError("boom")
+
+        handles["server"].focus("RPC").register_handler(handler)
+        replies = []
+        handles["client"].focus("RPC").call(
+            handles["server"].endpoint_address, "x", b"",
+            on_reply=lambda body, err: replies.append((body, err)),
+        )
+        lan_world.run(1.0)
+        assert replies == [(None, "boom")]
+
+    def test_no_handler_reports_error(self, lan_world):
+        handles = self._group(lan_world)
+        replies = []
+        handles["client"].focus("RPC").call(
+            handles["server"].endpoint_address, "x", b"",
+            on_reply=lambda body, err: replies.append(err),
+        )
+        lan_world.run(1.0)
+        assert replies == ["no handler"]
+
+    def test_timeout_after_retries(self, lan_world):
+        handles = self._group(lan_world)
+        lan_world.crash("server")
+        replies = []
+        rpc = handles["client"].focus("RPC")
+        rpc.call(
+            handles["server"].endpoint_address, "x", b"",
+            on_reply=lambda body, err: replies.append(err),
+        )
+        lan_world.run(6.0)
+        assert replies == ["timeout"]
+        assert rpc.timeouts == 1
+
+    def test_many_concurrent_calls_correlated(self, lan_world):
+        handles = self._group(lan_world)
+        handles["server"].focus("RPC").register_handler(
+            lambda method, body, caller: b"reply-" + body
+        )
+        replies = {}
+        rpc = handles["client"].focus("RPC")
+        for i in range(20):
+            rpc.call(
+                handles["server"].endpoint_address, "n", f"{i}".encode(),
+                on_reply=lambda body, err, i=i: replies.__setitem__(i, body),
+            )
+        lan_world.run(2.0)
+        assert replies == {i: f"reply-{i}".encode() for i in range(20)}
+
+
+class TestSyncClock:
+    STACK = "SYNC(period=0.2):MBRSHIP:FRAG:NAK:COM"
+
+    def test_offsets_converge_to_coordinator_clock(self):
+        world = World(seed=6, network="lan")
+        world.process("a", clock_offset=0.0)
+        world.process("b", clock_offset=5.0)      # 5 s fast
+        world.process("c", clock_offset=-3.0)     # 3 s slow
+        handles = join_group(world, ["a", "b", "c"], self.STACK)
+        world.run(5.0)
+        reference = handles["a"].focus("SYNC").synchronized_time()
+        for name in ("b", "c"):
+            synced = handles[name].focus("SYNC").synchronized_time()
+            assert abs(synced - reference) < 0.005  # within 5 ms
+
+    def test_raw_clocks_disagree_wildly(self):
+        world = World(seed=6, network="lan")
+        world.process("a", clock_offset=0.0)
+        world.process("b", clock_offset=5.0)
+        handles = join_group(world, ["a", "b"], self.STACK)
+        world.run(2.0)
+        raw_a = handles["a"].focus("SYNC").local_time()
+        raw_b = handles["b"].focus("SYNC").local_time()
+        assert abs(raw_a - raw_b) > 4.0  # the problem SYNC solves
+
+    def test_drift_tracked_by_periodic_rounds(self):
+        world = World(seed=7, network="lan")
+        world.process("a")
+        world.process("b", clock_drift=0.01)  # 1% fast
+        handles = join_group(world, ["a", "b"], self.STACK)
+        world.run(20.0)
+        synced_a = handles["a"].focus("SYNC").synchronized_time()
+        synced_b = handles["b"].focus("SYNC").synchronized_time()
+        # After 20+ s a 1% drift is >0.2 s raw; sync keeps it bounded.
+        assert abs(synced_a - synced_b) < 0.05
+
+    def test_coordinator_is_its_own_reference(self, lan_world):
+        handles = join_group(lan_world, ["a", "b"], self.STACK)
+        lan_world.run(2.0)
+        layer = handles["a"].focus("SYNC")
+        assert layer.offset == 0.0
+        assert layer.synchronized
+
+
+class TestRealTime:
+    def test_on_time_messages_delivered(self, lan_world):
+        handles = join_group(
+            lan_world, ["a", "b"], "REALTIME(bound=1.0):MBRSHIP:FRAG:NAK:COM"
+        )
+        handles["a"].cast(b"fresh")
+        lan_world.run(1.0)
+        assert [m.data for m in handles["b"].delivery_log] == [b"fresh"]
+        assert handles["b"].focus("REALTIME").on_time == 1
+
+    def test_late_messages_dropped(self):
+        from repro import FaultModel
+
+        world = World(
+            seed=8,
+            network="udp",
+            fault_model=FaultModel(base_delay=0.2),  # slower than the bound
+        )
+        handles = join_group(
+            world, ["a", "b"],
+            "REALTIME(bound=0.05):MBRSHIP:FRAG:NAK:COM",
+            settle=1.0, final_settle=4.0,
+        )
+        handles["a"].cast(b"stale")
+        world.run(3.0)
+        assert handles["b"].delivery_log == []
+        assert handles["b"].focus("REALTIME").late >= 1
+
+    def test_late_messages_flagged_with_policy_flag(self):
+        from repro import FaultModel
+
+        world = World(
+            seed=8,
+            network="udp",
+            fault_model=FaultModel(base_delay=0.2),
+        )
+        handles = join_group(
+            world, ["a", "b"],
+            "REALTIME(bound=0.05,policy='flag'):MBRSHIP:FRAG:NAK:COM",
+            settle=1.0, final_settle=4.0,
+        )
+        handles["a"].cast(b"stale-but-wanted")
+        world.run(3.0)
+        delivered = handles["b"].delivery_log
+        assert len(delivered) == 1
+        assert delivered[0].info["late"] is True
+        assert delivered[0].info["lateness"] > 0
+
+    def test_per_message_deadline_override(self, lan_world):
+        handles = join_group(
+            lan_world, ["a", "b"], "REALTIME(bound=0.0001):MBRSHIP:FRAG:NAK:COM"
+        )
+        # Default bound is unmeetable on this LAN, but the per-message
+        # override is generous.
+        handles["a"].cast(b"vip", deadline=1.0)
+        lan_world.run(1.0)
+        assert [m.data for m in handles["b"].delivery_log] == [b"vip"]
+
+
+class TestKeyDistribution:
+    STACK = "KEYDIST:MBRSHIP:FRAG:NAK:CRYPT:COM"
+
+    def test_members_converge_on_view_key(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], self.STACK)
+        kids = set()
+        for handle in handles.values():
+            source = handle.focus("KEYDIST").key_source
+            current = source.current()
+            assert current is not None
+            kids.add(current)
+        assert len(kids) == 1  # same (kid, key) everywhere
+
+    def test_traffic_encrypted_under_view_key(self, lan_world):
+        handles = join_group(lan_world, ["a", "b"], self.STACK)
+        lan_world.run(1.0)
+        handles["a"].cast(b"under view key")
+        lan_world.run(1.0)
+        assert [m.data for m in handles["b"].delivery_log] == [b"under view key"]
+        crypt = handles["a"].focus("CRYPT")
+        assert crypt.encrypted > 0
+
+    def test_key_rotates_on_membership_change(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], self.STACK)
+        kid_before = handles["a"].focus("KEYDIST").key_source.current()[0]
+        lan_world.crash("c")
+        lan_world.run(8.0)
+        kid_after = handles["a"].focus("KEYDIST").key_source.current()[0]
+        assert kid_after > kid_before
+        # Survivors still converse under the new key.
+        handles["b"].cast(b"rotated")
+        lan_world.run(1.0)
+        assert b"rotated" in [m.data for m in handles["a"].delivery_log]
+
+    def test_removed_member_lacks_new_key(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], self.STACK)
+        lan_world.crash("c")
+        lan_world.run(8.0)
+        new_kid = handles["a"].focus("KEYDIST").key_source.current()[0]
+        assert handles["c"].focus("KEYDIST").key_source.key_for(new_kid) is None
+
+
+class TestRpcAnycast:
+    STACK = "RPC:MBRSHIP:FRAG:NAK:COM"
+
+    def _group(self, world, names):
+        handles = join_group(world, names, self.STACK)
+        for name in names:
+            handles[name].focus("RPC").register_handler(
+                lambda method, body, caller, n=name: f"{n}:{method}".encode()
+            )
+        return handles
+
+    def test_anycast_routes_to_agreed_owner(self, lan_world):
+        handles = self._group(lan_world, ["a", "b", "c"])
+        owners = {
+            h.focus("RPC").anycast_owner("lookup") for h in handles.values()
+        }
+        assert len(owners) == 1  # every member computes the same owner
+        replies = []
+        handles["a"].focus("RPC").call_anycast(
+            "lookup", b"", on_reply=lambda body, err: replies.append(body)
+        )
+        lan_world.run(1.0)
+        owner_node = next(iter(owners)).node
+        assert replies == [f"{owner_node}:lookup".encode()]
+
+    def test_anycast_remaps_when_owner_crashes(self, lan_world):
+        handles = self._group(lan_world, ["a", "b", "c"])
+        rpc_a = handles["a"].focus("RPC")
+        owner = rpc_a.anycast_owner("role")
+        victim = owner.node
+        if victim == "a":
+            # Let a non-caller own the role for this test's purposes.
+            handles_order = ["b", "c"]
+        else:
+            handles_order = [victim]
+        replies = []
+        lan_world.crash(handles_order[0])
+        rpc_a.call_anycast(
+            "role", b"", on_reply=lambda body, err: replies.append((body, err))
+        )
+        lan_world.run(15.0)
+        # Either the caller reached a surviving owner directly, or the
+        # retry redirected after the view change; never a silent hang.
+        assert len(replies) == 1
+        body, err = replies[0]
+        assert body is not None or err == "timeout"
+        if body is not None:
+            assert not body.startswith(handles_order[0].encode())
+
+
+class TestResourceLocation:
+    STACK = "LOCATE:MBRSHIP:FRAG:NAK:COM"
+
+    def test_offer_and_resolve(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], self.STACK)
+        handles["b"].focus("LOCATE").offer("printer")
+        lan_world.run(1.0)
+        for handle in handles.values():
+            providers = handle.focus("LOCATE").resolve("printer")
+            assert providers == [handles["b"].endpoint_address]
+
+    def test_multiple_providers_oldest_first(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], self.STACK)
+        handles["c"].focus("LOCATE").offer("db")
+        lan_world.run(0.5)
+        handles["a"].focus("LOCATE").offer("db")
+        lan_world.run(1.0)
+        providers = handles["b"].focus("LOCATE").resolve("db")
+        assert providers == [
+            handles["c"].endpoint_address,
+            handles["a"].endpoint_address,
+        ]
+
+    def test_withdraw(self, lan_world):
+        handles = join_group(lan_world, ["a", "b"], self.STACK)
+        handles["a"].focus("LOCATE").offer("cache")
+        lan_world.run(1.0)
+        handles["a"].focus("LOCATE").withdraw("cache")
+        lan_world.run(1.0)
+        assert handles["b"].focus("LOCATE").resolve("cache") == []
+
+    def test_crashed_provider_pruned(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], self.STACK)
+        handles["c"].focus("LOCATE").offer("service")
+        lan_world.run(1.0)
+        assert handles["a"].focus("LOCATE").resolve("service")
+        lan_world.crash("c")
+        lan_world.run(8.0)
+        assert handles["a"].focus("LOCATE").resolve("service") == []
+
+    def test_joiner_learns_existing_offers(self, lan_world):
+        handles = join_group(lan_world, ["a", "b"], self.STACK)
+        handles["a"].focus("LOCATE").offer("printer")
+        lan_world.run(1.0)
+        joiner = lan_world.process("c").endpoint().join("grp", stack=self.STACK)
+        lan_world.run(5.0)
+        assert joiner.focus("LOCATE").resolve("printer") == [
+            handles["a"].endpoint_address
+        ]

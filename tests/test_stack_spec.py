@@ -1,0 +1,71 @@
+"""Unit tests for stack spec parsing and run-time composition."""
+
+import pytest
+
+from repro.core.stack import (
+    format_stack_spec,
+    known_layers,
+    layer_class,
+    parse_stack_spec,
+)
+from repro.errors import StackError
+
+
+class TestSpecParsing:
+    def test_simple_spec(self):
+        assert parse_stack_spec("TOTAL:MBRSHIP:FRAG:NAK:COM") == [
+            ("TOTAL", {}),
+            ("MBRSHIP", {}),
+            ("FRAG", {}),
+            ("NAK", {}),
+            ("COM", {}),
+        ]
+
+    def test_inline_kwargs(self):
+        parsed = parse_stack_spec("FRAG(max_size=512):NAK(window=64):COM")
+        assert parsed[0] == ("FRAG", {"max_size": 512})
+        assert parsed[1] == ("NAK", {"window": 64})
+
+    def test_kwarg_types(self):
+        parsed = parse_stack_spec(
+            "MBRSHIP(partition='evs',flush_timeout=0.5,auto_grant=false):COM"
+        )
+        kwargs = parsed[0][1]
+        assert kwargs == {
+            "partition": "evs",
+            "flush_timeout": 0.5,
+            "auto_grant": False,
+        }
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(StackError):
+            parse_stack_spec("NAK::COM")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(StackError):
+            parse_stack_spec("FRAG(max_size=5:COM")
+
+    def test_bad_kwarg_rejected(self):
+        with pytest.raises(StackError):
+            parse_stack_spec("FRAG(oops):COM")
+
+    def test_format_roundtrip(self):
+        spec = "FRAG(max_size=512):NAK:COM"
+        assert parse_stack_spec(format_stack_spec(parse_stack_spec(spec))) == (
+            parse_stack_spec(spec)
+        )
+
+
+class TestRegistry:
+    def test_known_layers_include_core_set(self):
+        layers = known_layers()
+        for name in ("COM", "NAK", "FRAG", "MBRSHIP"):
+            assert name in layers
+
+    def test_unknown_layer_reports_known_names(self):
+        with pytest.raises(StackError) as exc:
+            layer_class("NOPE")
+        assert "COM" in str(exc.value)
+
+    def test_layer_class_lookup(self):
+        assert layer_class("COM").name == "COM"

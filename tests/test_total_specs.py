@@ -1,0 +1,72 @@
+"""Tests for the TOTAL-layer trace specifications (Section 8 automata)."""
+
+import pytest
+
+from repro import World
+from repro.errors import VerificationError
+from repro.sim.trace import TraceRecorder
+from repro.verify import SingleTokenSpec, TotalOrderGaplessSpec, check_trace
+
+from conftest import join_group
+
+STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+
+class TestTotalOrderGaplessSpec:
+    def test_catches_a_hole_in_the_global_sequence(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "total_deliver", "a:0", gseq=1)
+        trace.record(2.0, "total_deliver", "a:0", gseq=3)
+        with pytest.raises(VerificationError):
+            check_trace(trace, [TotalOrderGaplessSpec()])
+
+    def test_view_reset_to_one_is_legal(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "total_deliver", "a:0", gseq=1)
+        trace.record(2.0, "total_deliver", "a:0", gseq=2)
+        trace.record(3.0, "total_deliver", "a:0", gseq=1)  # new view
+        check_trace(trace, [TotalOrderGaplessSpec()])
+
+    def test_real_run_is_gapless(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        for i in range(10):
+            handles["a"].cast(f"a{i}".encode())
+            handles["c"].cast(f"c{i}".encode())
+        lan_world.run(5.0)
+        check_trace(lan_world.trace, [TotalOrderGaplessSpec()])
+
+    def test_run_with_crash_is_gapless(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        for i in range(5):
+            handles["b"].cast(f"b{i}".encode())
+        lan_world.run(2.0)
+        lan_world.crash("c")
+        lan_world.run(8.0)
+        for i in range(5):
+            handles["b"].cast(f"post{i}".encode())
+        lan_world.run(3.0)
+        check_trace(
+            lan_world.trace, [TotalOrderGaplessSpec(), SingleTokenSpec()]
+        )
+
+
+class TestSingleTokenSpec:
+    def test_catches_regressing_token_pass(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "token_pass", "a:0", to="b:0", gseq=10)
+        trace.record(2.0, "token_pass", "a:0", to="c:0", gseq=5)
+        with pytest.raises(VerificationError):
+            check_trace(trace, [SingleTokenSpec()])
+
+    def test_demand_oracle_run_passes(self, lan_world):
+        handles = join_group(lan_world, ["a", "b", "c"], STACK)
+        # Force plenty of token movement: everyone keeps requesting.
+        for round_no in range(5):
+            for name in ("a", "b", "c"):
+                handles[name].cast(f"{name}{round_no}".encode())
+        lan_world.run(5.0)
+        check_trace(lan_world.trace, [SingleTokenSpec()])
+        total_passes = sum(
+            h.focus("TOTAL").token_passes for h in handles.values()
+        )
+        assert total_passes >= 2  # the token really circulated

@@ -1,0 +1,111 @@
+"""Unit and property tests for views and view identifiers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.view import View, ViewId
+from repro.errors import NotInViewError
+from repro.net.address import EndpointAddress, GroupAddress
+
+G = GroupAddress("g")
+A = EndpointAddress("a", 0)
+B = EndpointAddress("b", 0)
+C = EndpointAddress("c", 0)
+D = EndpointAddress("d", 0)
+
+
+def make_view(*members, epoch=1):
+    return View(group=G, view_id=ViewId(epoch, members[0]), members=tuple(members))
+
+
+class TestView:
+    def test_coordinator_is_first_member(self):
+        assert make_view(A, B, C).coordinator == A
+
+    def test_rank_reflects_age_order(self):
+        view = make_view(B, A, C)
+        assert view.rank_of(B) == 0
+        assert view.rank_of(C) == 2
+
+    def test_rank_of_non_member_raises(self):
+        with pytest.raises(NotInViewError):
+            make_view(A, B).rank_of(C)
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError):
+            make_view(A, A)
+
+    def test_initial_view_is_singleton(self):
+        view = View.initial(G, A)
+        assert view.members == (A,)
+        assert view.view_id.epoch == 1
+        assert view.is_coordinator(A)
+
+    def test_next_view_keeps_survivor_order(self):
+        view = make_view(A, B, C)
+        nxt = view.next_view(survivors=[C, A])
+        assert nxt.members == (A, C)  # age order preserved, not input order
+        assert nxt.view_id.epoch == 2
+        assert nxt.coordinator == A
+
+    def test_next_view_appends_joiners_sorted(self):
+        view = make_view(B, C)
+        nxt = view.next_view(survivors=[B, C], joiners=[D, A])
+        assert nxt.members == (B, C, A, D)
+
+    def test_next_view_empty_rejected(self):
+        with pytest.raises(NotInViewError):
+            make_view(A).next_view(survivors=[])
+
+    def test_coordinator_failover(self):
+        view = make_view(A, B, C)
+        nxt = view.next_view(survivors=[B, C])
+        assert nxt.coordinator == B  # "oldest surviving member"
+
+    def test_merged_older_first(self):
+        older = make_view(A, B, epoch=3)
+        younger = make_view(C, D, epoch=5)
+        merged = View.merged(older, younger)
+        assert merged.members == (A, B, C, D)
+        assert merged.coordinator == A
+        assert merged.view_id.epoch == 6
+
+    def test_merged_with_alive_filter(self):
+        older = make_view(A, B, epoch=1)
+        younger = make_view(C, epoch=1)
+        merged = View.merged(older, younger, alive=[A, C])
+        assert merged.members == (A, C)
+
+
+class TestViewId:
+    def test_total_order_epoch_first(self):
+        assert ViewId(1, B) < ViewId(2, A)
+
+    def test_coordinator_breaks_ties(self):
+        assert ViewId(1, A) < ViewId(1, B)
+
+    def test_equality(self):
+        assert ViewId(1, A) == ViewId(1, A)
+
+
+@given(
+    names=st.lists(
+        st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+        min_size=1,
+        max_size=6,
+        unique=True,
+    ),
+    data=st.data(),
+)
+def test_property_next_view_invariants(names, data):
+    members = [EndpointAddress(n, 0) for n in names]
+    view = View(group=G, view_id=ViewId(1, members[0]), members=tuple(members))
+    survivors = data.draw(st.lists(st.sampled_from(members), unique=True, min_size=1))
+    nxt = view.next_view(survivors=survivors)
+    # Survivors keep relative age order.
+    old_ranks = [view.rank_of(m) for m in nxt.members]
+    assert old_ranks == sorted(old_ranks)
+    # Epoch strictly increases; coordinator is the oldest survivor.
+    assert nxt.view_id.epoch == view.view_id.epoch + 1
+    oldest = min(survivors, key=view.rank_of)
+    assert nxt.coordinator == oldest
