@@ -1,0 +1,142 @@
+"""Experiment RT1 — the realtime substrate over real UDP loopback.
+
+Unlike every other bench in this directory, nothing here is simulated:
+two nodes (one UDP socket each) exchange datagrams through the kernel's
+loopback path on the asyncio engine, so the numbers are wall-clock
+msgs/sec and one-way latency on this machine.
+
+Two poles of the composition spectrum are measured:
+
+* ``COM`` — the minimal stack: raw best-effort multicast, no ordering,
+  no reliability (the Section 10 "pay only for what you use" baseline).
+* ``TOTAL:MBRSHIP:FRAG:NAK:COM`` — the full Section 7 derivation:
+  totally ordered virtually synchronous multicast.
+
+Latency is the transport's one-way histogram (sender monotonic stamp →
+receive callback); throughput counts application messages fully
+delivered at the remote member.
+
+Run:  PYTHONPATH=src python benchmarks/bench_runtime_loopback.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime.world import RealtimeWorld
+
+from _util import report, table
+
+MSG_SIZE = 200
+BATCH = 32
+MESSAGES = 2000
+MEMBERSHIP_ARGS = "MBRSHIP(join_timeout=0.2,stability_period=0.25)"
+
+STACKS = [
+    ("COM (minimal)", "COM"),
+    ("Section 7 full", f"TOTAL:{MEMBERSHIP_ARGS}:FRAG(max_size=900):NAK:COM"),
+]
+
+
+def bench_stack(stack: str, messages: int = MESSAGES):
+    world = RealtimeWorld(seed=42)
+    try:
+        ea = world.process("a").endpoint()
+        eb = world.process("b").endpoint()
+        ga = ea.join("bench", stack=stack)
+        gb = eb.join("bench", stack=stack)
+        if "MBRSHIP" in stack:
+            ok = world.run_while(
+                lambda: ga.view is not None and ga.view.size == 2
+                and gb.view is not None and gb.view.size == 2,
+                timeout=10.0,
+            )
+            assert ok, "membership never settled"
+        else:
+            members = [ga.endpoint_address, gb.endpoint_address]
+            ga.set_destinations(members)
+            gb.set_destinations(members)
+            world.run(0.1)
+
+        payload = b"z" * MSG_SIZE
+        # Warmup: page in the whole path before timing.
+        for _ in range(BATCH):
+            ga.cast(payload)
+        world.run_while(lambda: len(gb.delivery_log) >= BATCH, timeout=5.0)
+        world.run(0.2)
+        warm = len(gb.delivery_log)
+
+        start = time.perf_counter()
+        sent = 0
+        hard_deadline = start + 30.0
+        while sent < messages and time.perf_counter() < hard_deadline:
+            for _ in range(min(BATCH, messages - sent)):
+                ga.cast(payload)
+                sent += 1
+            # Drive the engine so sends flush and deliveries drain; the
+            # unreliable COM stack needs this pacing or the socket
+            # buffer overflows and messages are gone for good.
+            world.run_while(
+                lambda: len(gb.delivery_log) >= warm + sent, timeout=2.0
+            )
+        elapsed = time.perf_counter() - start
+        delivered = len(gb.delivery_log) - warm
+        hist = world.stats.latency
+        return {
+            "sent": sent,
+            "delivered": delivered,
+            "elapsed_s": elapsed,
+            "msgs_per_s": delivered / elapsed if elapsed else 0.0,
+            "p50_us": hist.percentile(50) * 1e6,
+            "p99_us": hist.percentile(99) * 1e6,
+            "datagrams": world.stats.packets_delivered,
+        }
+    finally:
+        world.close()
+
+
+def main() -> None:
+    rows = []
+    for label, stack in STACKS:
+        r = bench_stack(stack)
+        rows.append(
+            [
+                label,
+                r["sent"],
+                r["delivered"],
+                f"{r['elapsed_s']:.3f}",
+                f"{r['msgs_per_s']:.0f}",
+                f"{r['p50_us']:.0f}",
+                f"{r['p99_us']:.0f}",
+                r["datagrams"],
+            ]
+        )
+    text = table(
+        [
+            "stack",
+            "sent",
+            "delivered",
+            "wall s",
+            "msgs/s",
+            "p50 us",
+            "p99 us",
+            "datagrams",
+        ],
+        rows,
+    )
+    text += (
+        f"\n\n{MSG_SIZE}-byte app messages in batches of {BATCH}; "
+        "one-way datagram latency from the transport histogram.\n"
+        "Real OS UDP over 127.0.0.1 — numbers are machine-dependent."
+    )
+    report("runtime_loopback", text)
+
+
+def test_runtime_loopback_bench():
+    """Smoke-sized variant so pytest collection exercises the path."""
+    r = bench_stack(STACKS[1][1], messages=64)
+    assert r["delivered"] == 64
+
+
+if __name__ == "__main__":
+    main()

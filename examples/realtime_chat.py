@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""The Section 7 stack serving real traffic between two OS processes.
+
+Each process hosts a :class:`~repro.runtime.world.RealtimeWorld`: the
+same ``TOTAL:MBRSHIP:FRAG:NAK:COM`` stack the paper derives in Section
+7, the same ``HorusSocket`` facade from Sections 2 and 11 — but the
+engine is wall-clock asyncio and every packet crosses a real OS UDP
+socket on loopback.  No protocol layer knows the difference; that is
+the point of the substrate seam (and of the paper's thin-waist HCPI).
+
+Both members multicast a burst of messages (one big enough that FRAG
+must fragment it over the transport MTU), wait until the full transcript
+arrives, and print it in TOTAL's delivery order plus a digest of the
+sequence.  Because the stack provides total order, the two processes
+print the *same* digest.
+
+Run it three ways::
+
+    python examples/realtime_chat.py                 # spawns both roles
+    python examples/realtime_chat.py --role alice    # terminal 1
+    python examples/realtime_chat.py --role bob      # terminal 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import subprocess
+import sys
+
+from repro import EndpointAddress
+from repro.layers import HorusSocket
+from repro.runtime import RealtimeWorld
+
+GROUP = "lounge"
+#: The paper's Section 7 derivation, with demo-speed membership timers
+#: (inline layer args, Section 6's run-time parameterization) and a FRAG
+#: size that forces fragmentation under the transport's 1400-byte MTU.
+STACK = (
+    "TOTAL:MBRSHIP(join_timeout=0.25,stability_period=0.25)"
+    ":FRAG(max_size=900):NAK:COM"
+)
+#: alice is the anchor: every process seeds her endpoint as the group's
+#: bootstrap contact, so she founds the group and bob joins through her.
+ANCHOR = "alice"
+DEFAULT_PORTS = {"alice": 9801, "bob": 9802}
+
+
+def run_member(role: str, ports: dict, count: int, timeout: float) -> int:
+    peer = "bob" if role == "alice" else "alice"
+    world = RealtimeWorld(seed=7, mtu=1400)
+    world.process(role, listen=("127.0.0.1", ports[role]))
+    world.add_peer(peer, "127.0.0.1", ports[peer])
+    world.seed_group(GROUP, [EndpointAddress(ANCHOR, 0)])
+
+    # The application only ever touches the sockets facade (Sections 2
+    # and 11) — same code as the simulated examples/sockets_chat.py.
+    sock = HorusSocket(world.process(role).endpoint(), stack=STACK)
+    sock.bind(GROUP)
+
+    print(f"[{role}] waiting for both members to install the view ...")
+    settled = world.run_while(
+        lambda: sock.handle.view is not None and sock.handle.view.size == 2,
+        timeout=timeout,
+    )
+    if not settled:
+        print(f"[{role}] membership never settled", file=sys.stderr)
+        return 1
+    print(f"[{role}] view: {[str(m) for m in sock.handle.view.members]}")
+
+    for i in range(count):
+        body = f"{role}#{i:03d} says hi".encode()
+        if i == count - 1:
+            # One oversized line: FRAG must split this over real UDP.
+            body += b" " + b"=" * 2500
+        sock.sendto(body, GROUP)
+
+    expected = 2 * count
+    transcript = []
+    while len(transcript) < expected:
+        received = sock.recvfrom(timeout=timeout)  # blocking-with-deadline
+        if received is None:
+            print(
+                f"[{role}] only {len(transcript)}/{expected} messages",
+                file=sys.stderr,
+            )
+            return 1
+        data, addr = received
+        transcript.append(f"{addr.node}:{data[:24].decode(errors='replace')}")
+    for line in transcript:
+        print(f"[{role}]   {line}")
+    digest = hashlib.sha256("\n".join(transcript).encode()).hexdigest()[:16]
+    stats = world.stats
+    print(f"[{role}] transcript digest: {digest}")
+    print(
+        f"[{role}] {stats.packets_sent} pkts sent, "
+        f"{stats.packets_delivered} delivered, "
+        f"one-way p50 {stats.latency.percentile(50) * 1e3:.3f} ms"
+    )
+    world.close()
+    return 0
+
+
+def run_demo(count: int, timeout: float) -> int:
+    """Spawn both roles as separate OS processes and compare digests."""
+    procs = {
+        role: subprocess.Popen(
+            [sys.executable, __file__, "--role", role,
+             "--count", str(count), "--timeout", str(timeout)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        for role in ("alice", "bob")
+    }
+    digests = {}
+    status = 0
+    for role, proc in procs.items():
+        out, _ = proc.communicate(timeout=timeout * 3)
+        print(out, end="")
+        status |= proc.returncode
+        for line in out.splitlines():
+            if "transcript digest:" in line:
+                digests[role] = line.rsplit(" ", 1)[-1]
+    if status == 0 and len(digests) == 2 and digests["alice"] == digests["bob"]:
+        print(f"== both OS processes delivered the same total order "
+              f"({digests['alice']}) ==")
+        return 0
+    print("== digests differ or a member failed ==", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--role", choices=("alice", "bob"))
+    parser.add_argument("--count", type=int, default=5,
+                        help="messages each member multicasts")
+    parser.add_argument("--timeout", type=float, default=20.0)
+    parser.add_argument("--alice-port", type=int, default=DEFAULT_PORTS["alice"])
+    parser.add_argument("--bob-port", type=int, default=DEFAULT_PORTS["bob"])
+    args = parser.parse_args()
+    ports = {"alice": args.alice_port, "bob": args.bob_port}
+    if args.role:
+        return run_member(args.role, ports, args.count, args.timeout)
+    return run_demo(args.count, args.timeout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

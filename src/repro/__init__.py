@@ -15,6 +15,10 @@ deterministic discrete-event simulation:
   well-formedness checking and stack synthesis.
 * :mod:`repro.net` / :mod:`repro.sim` — simulated networks (ATM, UDP,
   LAN) and the event-queue execution substrate.
+* :mod:`repro.runtime` — the real-time execution substrate: a
+  wall-clock asyncio engine and an OS-UDP transport behind the same
+  seams, so the identical stacks serve real traffic
+  (:class:`RealtimeWorld` is the drop-in sibling of :class:`World`).
 * :mod:`repro.membership` — directory, failure detectors, and the
   Section 9 partition policies.
 * :mod:`repro.verify` — executable specifications (the reference-
@@ -61,6 +65,24 @@ from repro.core import (
 )
 from repro.net import EndpointAddress, FaultModel, GroupAddress
 
+_LAZY_EXPORTS = {
+    # Realtime substrate: loaded on first touch so `import repro` stays
+    # light and asyncio-free for pure-simulation users.
+    "RealtimeEngine": "repro.runtime.engine",
+    "RealtimeWorld": "repro.runtime.world",
+    "UdpTransport": "repro.runtime.transport",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -77,7 +99,10 @@ __all__ = [
     "LayerContext",
     "Message",
     "Process",
+    "RealtimeEngine",
+    "RealtimeWorld",
     "Stack",
+    "UdpTransport",
     "Upcall",
     "UpcallType",
     "View",

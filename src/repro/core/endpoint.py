@@ -6,6 +6,12 @@ are not addressed to endpoints, but to groups."  An endpoint owns one
 network attachment and a protocol stack per joined group; incoming
 packets are demultiplexed to the right stack by the group address the
 COM layer placed in the outermost header.
+
+The endpoint sits exactly on the execution-substrate seam: it reaches
+time only through the process's Clock-shaped guarded scheduler and the
+network only through the attach/unicast/multicast contract, so the same
+endpoint (and every stack it builds) runs on the discrete-event
+simulation and on the realtime engine + OS-UDP transport unchanged.
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ from repro.core.headers import DEFAULT_REGISTRY, HeaderRegistry
 from repro.errors import StackError
 from repro.net.address import EndpointAddress, GroupAddress
 from repro.net.network import Network
-from repro.sim.timers import PeriodicTimer, Timer
+from repro.runtime.clock import PeriodicTimer, Timer
 from repro.sim.trace import TraceRecorder
 
 
@@ -32,7 +32,13 @@ class LayerContext:
     is what keeps them composable and testable in isolation.
     """
 
-    scheduler: Any  # Scheduler-compatible (usually a process-guarded proxy)
+    #: A :class:`repro.runtime.clock.Clock` (usually behind a
+    #: process-guarded proxy): virtual time on the DES, wall-clock time
+    #: on the realtime engine.  Layers must not assume which.
+    scheduler: Any
+    #: Anything satisfying the network attach/unicast/multicast contract
+    #: (:class:`repro.net.network.Network` or
+    #: :class:`repro.runtime.transport.UdpTransport`).
     network: Network
     endpoint: EndpointAddress
     group: GroupAddress

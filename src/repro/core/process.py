@@ -36,11 +36,14 @@ _NETWORK_KINDS = {
 
 
 class GuardedScheduler:
-    """A scheduler facade that silently drops events of a dead process.
+    """A clock facade that silently drops events of a dead process.
 
     Layers schedule through this object; after the owning process
     crashes, armed timers and queued continuations become no-ops, which
-    is exactly fail-stop semantics.
+    is exactly fail-stop semantics.  It wraps any
+    :class:`~repro.runtime.clock.Clock` — the DES scheduler or the
+    realtime engine — and is itself Clock-shaped, so layers cannot tell
+    the difference.
     """
 
     def __init__(self, scheduler: Scheduler, process: "Process") -> None:
@@ -247,6 +250,26 @@ class World:
         """Run until no events remain (periodic timers never let this end;
         prefer :meth:`run` for stacks with heartbeats)."""
         return self.scheduler.run_until_idle(max_events=max_events)
+
+    def run_while(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 60.0,
+        poll: float = 0.05,
+    ) -> bool:
+        """Advance virtual time in ``poll`` slices until ``predicate()``
+        holds or ``timeout`` virtual seconds pass; returns its final value.
+
+        The realtime world offers the same method over wall-clock time,
+        so substrate-agnostic drivers (tests, benchmarks) can settle a
+        protocol on either engine with identical code.
+        """
+        deadline = self.now + timeout
+        while not predicate():
+            if self.now >= deadline:
+                return bool(predicate())
+            self.run(min(poll, deadline - self.now))
+        return True
 
     @property
     def now(self) -> float:

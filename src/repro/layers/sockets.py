@@ -51,12 +51,28 @@ class HorusSocket:
         handle.cast(data)
         return len(data)
 
-    def recvfrom(self) -> Optional[Tuple[bytes, EndpointAddress]]:
+    def recvfrom(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[bytes, EndpointAddress]]:
         """The next delivered message as ``(data, source)``, or ``None``.
 
-        Non-blocking: the simulation world must be run between calls.
+        Without ``timeout`` the call is a non-blocking poll: the world
+        must be run between calls.  With ``timeout`` the call *drives
+        the world itself* until a message arrives or the deadline
+        passes — a bounded virtual-time wait on the simulation engine,
+        a genuine blocking-with-deadline on the realtime engine.  Only
+        call the blocking form from outside the event loop (top-level
+        application code), never from inside a delivered callback.
         """
-        delivered = self._bound().receive()
+        handle = self._bound()
+        delivered = handle.receive()
+        if delivered is None and timeout is not None and timeout > 0:
+            world = self._endpoint.process.world
+            deadline = world.now + timeout
+            slice_len = max(min(timeout / 20.0, 0.05), 1e-4)
+            while delivered is None and world.now < deadline:
+                world.run(min(slice_len, deadline - world.now))
+                delivered = handle.receive()
         if delivered is None:
             return None
         return delivered.data, delivered.source

@@ -18,6 +18,7 @@ from repro.net.address import EndpointAddress
 from repro.net.faults import FaultModel
 from repro.net.packet import Packet
 from repro.net.partition import PartitionController
+from repro.sim.rand import derive_seed
 from repro.sim.scheduler import Scheduler
 
 DeliveryCallback = Callable[[Packet], None]
@@ -68,7 +69,11 @@ class Network:
     ) -> None:
         self.scheduler = scheduler
         self.fault_model = fault_model or FaultModel.perfect()
-        self.rng = rng or random.Random(0)
+        # Fault decisions draw from a per-component seeded stream (the
+        # sim.rand derivation), never the global random module, so a
+        # network built without an explicit rng is still reproducible
+        # and independent of every other consumer of randomness.
+        self.rng = rng or random.Random(derive_seed(0, f"net.{name}"))
         self.mtu = mtu if mtu is not None else self.default_mtu
         self.name = name
         self.partitions = PartitionController()

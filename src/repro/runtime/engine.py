@@ -1,0 +1,194 @@
+"""Wall-clock realtime engine over asyncio.
+
+The second implementation of the :class:`~repro.runtime.clock.Clock`
+interface: ``now`` reads the event loop's monotonic clock, and scheduled
+callbacks fire at real deadlines via ``loop.call_at``.
+
+Two properties carry over from the discrete-event scheduler so protocol
+code behaves identically on both substrates:
+
+* **Deterministic same-deadline ordering.**  The engine keeps its own
+  ``(time, seq)`` heap and drains all due events through a single asyncio
+  timer, so events scheduled for the same instant fire in scheduling
+  order — asyncio's raw heap makes no such promise for ties.
+* **No re-entrancy.**  ``call_soon`` work runs from the pump, never
+  inside the scheduling call.
+
+Unlike the DES, scheduling in the past is allowed (clamped to "as soon
+as possible"): a wall clock cannot refuse late work, it can only run it
+immediately.
+
+The engine does not spin a thread; the loop runs only while the caller
+is inside :meth:`run_for` / :meth:`run_until` (mirroring how the DES
+only advances inside ``World.run``), which keeps the whole system
+single-threaded and free of locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.runtime.clock import Clock, EventHandle
+
+
+class RealtimeEngine(Clock):
+    """Real-time event loop satisfying the :class:`Clock` contract.
+
+    Typical use::
+
+        engine = RealtimeEngine()
+        engine.call_after(0.05, hello)
+        engine.run_for(0.1)       # drives the asyncio loop for 100 ms
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop or asyncio.new_event_loop()
+        self._epoch = self._loop.time()
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._pump_handle: Optional[asyncio.TimerHandle] = None
+        self._armed_for: Optional[tuple] = None
+        self._running = False
+        #: Total number of events executed; useful in benchmarks.
+        self.events_executed = 0
+        #: Callbacks that raised (reported to the loop's exception handler).
+        self.callback_errors = 0
+
+    # ------------------------------------------------------------------
+    # The Clock surface
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Seconds of monotonic wall-clock time since engine creation."""
+        return self._loop.time() - self._epoch
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at engine time ``when`` (past ⇒ ASAP)."""
+        handle = EventHandle(max(when, self.now), next(self._seq), fn, args)
+        heapq.heappush(self._heap, handle)
+        self._rearm()
+        return handle
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` wall-clock seconds."""
+        return self.call_at(self.now + max(delay, 0.0), fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the current instant, after queued peers."""
+        return self.call_at(self.now, fn, *args)
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    # ------------------------------------------------------------------
+    # Driving the loop
+    # ------------------------------------------------------------------
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The underlying asyncio loop (transports register against it)."""
+        return self._loop
+
+    def sync(self, coro: Any) -> Any:
+        """Run a coroutine to completion on the engine's loop (setup aid)."""
+        return self._loop.run_until_complete(coro)
+
+    def run_for(self, duration: float) -> None:
+        """Drive the loop for ``duration`` wall-clock seconds.
+
+        Due timers, socket I/O, and continuations all execute inside this
+        call.  Not re-entrant (don't call it from a scheduled callback).
+        """
+        if self._running:
+            raise RuntimeError("engine is not re-entrant")
+        self._running = True
+        try:
+            self._loop.run_until_complete(asyncio.sleep(max(duration, 0.0)))
+        finally:
+            self._running = False
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 5.0,
+        poll: float = 0.01,
+    ) -> bool:
+        """Drive the loop until ``predicate()`` holds or ``timeout`` passes.
+
+        Returns the predicate's final value.  ``poll`` bounds how stale
+        the check may be; I/O and timers still run continuously.
+        """
+        deadline = self.now + timeout
+        while not predicate():
+            remaining = deadline - self.now
+            if remaining <= 0:
+                return bool(predicate())
+            self.run_for(min(poll, remaining))
+        return True
+
+    def close(self) -> None:
+        """Close the underlying loop.  The engine is unusable afterwards."""
+        if self._pump_handle is not None:
+            self._pump_handle.cancel()
+            self._pump_handle = None
+        if not self._loop.is_closed():
+            self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+            self._loop.close()
+
+    # ------------------------------------------------------------------
+    # The pump: one asyncio timer armed for the earliest deadline
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Optional[EventHandle]:
+        while self._heap:
+            if self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return self._heap[0]
+        return None
+
+    def _rearm(self) -> None:
+        head = self._peek()
+        if head is None:
+            if self._pump_handle is not None:
+                self._pump_handle.cancel()
+                self._pump_handle = None
+                self._armed_for = None
+            return
+        key = (head.time, head.seq)
+        if self._armed_for == key and self._pump_handle is not None:
+            return
+        if self._pump_handle is not None:
+            self._pump_handle.cancel()
+        self._pump_handle = self._loop.call_at(head.time + self._epoch, self._pump)
+        self._armed_for = key
+
+    def _pump(self) -> None:
+        self._pump_handle = None
+        self._armed_for = None
+        while True:
+            head = self._peek()
+            if head is None or head.time > self.now:
+                break
+            heapq.heappop(self._heap)
+            fn, args = head.fn, head.args
+            head.fn, head.args = None, ()  # break reference cycles
+            assert fn is not None
+            try:
+                fn(*args)
+            except Exception as exc:  # keep draining; report like asyncio does
+                self.callback_errors += 1
+                self._loop.call_exception_handler(
+                    {"message": "exception in realtime engine callback",
+                     "exception": exc}
+                )
+            self.events_executed += 1
+        self._rearm()
+
+    def __repr__(self) -> str:
+        return f"<RealtimeEngine now={self.now:.6f} pending={self.pending()}>"

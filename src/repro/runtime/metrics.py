@@ -1,0 +1,120 @@
+"""Transport metrics for the realtime substrate.
+
+The simulated :class:`~repro.net.network.NetworkStats` counters are what
+benchmarks and tests read; the realtime transport keeps the same counter
+names so the two substrates are directly comparable, and adds what only
+a real network has: a wall-clock one-way latency distribution.
+
+The histogram stores raw samples in a bounded reservoir, so quantile
+queries are exact until the bound and statistically faithful after it —
+good enough for p50/p99 over loopback benchmarks without pulling in any
+dependency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.net.network import NetworkStats
+
+
+class LatencyHistogram:
+    """Reservoir-sampled latency distribution with exact min/max/mean.
+
+    ``observe`` is O(1); quantiles sort the reservoir on demand.
+    Sampling uses its own seeded generator so recording latencies never
+    perturbs any protocol randomness stream.
+    """
+
+    def __init__(self, reservoir_size: int = 4096, seed: int = 0) -> None:
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._samples: List[float] = []
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        """Record one latency sample (seconds)."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of every observed sample."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0–100) of the sampled distribution."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if p <= 0:
+            return ordered[0]
+        if p >= 100:
+            return ordered[-1]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        """min/mean/p50/p99/max snapshot (zeros when empty)."""
+        if not self.count:
+            return {"count": 0, "min": 0.0, "mean": 0.0, "p50": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "min": self.min,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"<LatencyHistogram n={s['count']} p50={s['p50'] * 1e3:.3f}ms "
+            f"p99={s['p99'] * 1e3:.3f}ms>"
+        )
+
+
+@dataclass
+class TransportStats(NetworkStats):
+    """:class:`NetworkStats` plus realtime-only accounting.
+
+    ``packets_lost`` keeps its simulated meaning's closest analogue:
+    datagrams that arrived but had no attached endpoint to claim them.
+    Real in-flight OS losses are invisible to the transport (reliability
+    layers above recover them); the counters here are what the machine
+    actually observed.
+    """
+
+    #: Datagrams whose destination node had no configured peer address.
+    packets_unroutable: int = 0
+    #: Datagrams that failed frame decoding (wrong magic, truncated).
+    packets_undecodable: int = 0
+    #: One-way wire latency of delivered datagrams (sender stamp → receipt).
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def note_delivery(self, size: int, latency: float) -> None:
+        """Account for one datagram handed to an attached endpoint."""
+        self.packets_delivered += 1
+        self.bytes_delivered += size
+        if latency >= 0.0:
+            self.latency.observe(latency)

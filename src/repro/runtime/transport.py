@@ -1,0 +1,268 @@
+"""Real OS-UDP transport for Horus stacks.
+
+Satisfies the same contract as the simulated
+:class:`~repro.net.network.Network` — ``attach``/``detach`` endpoint
+callbacks, ``unicast``/``multicast`` of flat byte payloads, a ``stats``
+object, an ``mtu`` — but moves packets over actual UDP sockets via
+asyncio's ``DatagramProtocol``.  Because the contract is identical, the
+COM layer (and therefore every layer above it) runs unchanged; only the
+wiring in :class:`~repro.runtime.world.RealtimeWorld` differs.
+
+Topology model: one transport per OS process, one UDP socket per *node*
+bound on it (usually exactly one; tests bind two in one process to get
+real loopback traffic without forking).  Remote nodes are named peers
+with ``(host, port)`` addresses — the realtime analogue of the DES
+world knowing every node by name.  Multicast is unicast fan-out, the
+same software multicast the base simulated network implements, so the
+flush/NAK machinery sees the identical failure mode: each destination
+experiences independent loss and delay.
+
+Wire format (network byte order)::
+
+    magic   4s   b"HRS1"
+    sent    d    sender's CLOCK_MONOTONIC timestamp (latency accounting;
+                 comparable across processes on one machine)
+    srclen  H    length of marshalled source EndpointAddress
+    dstlen  H    length of marshalled destination EndpointAddress
+    src     srclen bytes
+    dst     dstlen bytes
+    payload rest (the marshalled message with all layer headers)
+
+The ``mtu`` bounds the *payload*, exactly as in the simulation, so a
+FRAG/NFRAG layer tuned for the simulated substrate fragments identically
+over the real one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import AddressError, NetworkError, PacketTooLargeError
+from repro.net.address import EndpointAddress
+from repro.net.packet import Packet
+from repro.runtime.engine import RealtimeEngine
+from repro.runtime.metrics import TransportStats
+
+DeliveryCallback = Callable[[Packet], None]
+
+_MAGIC = b"HRS1"
+_HEADER = struct.Struct("!4sdHH")
+
+#: Payload bound leaving room for frame + IP/UDP headers inside a
+#: standard 1500-byte ethernet MTU.
+DEFAULT_MTU = 1400
+
+
+def encode_frame(
+    source: EndpointAddress, dest: EndpointAddress, payload: bytes, sent_at: float
+) -> bytes:
+    """Serialize one datagram frame."""
+    src = source.marshal()
+    dst = dest.marshal()
+    return _HEADER.pack(_MAGIC, sent_at, len(src), len(dst)) + src + dst + payload
+
+
+def decode_frame(data: bytes) -> Tuple[EndpointAddress, EndpointAddress, float, bytes]:
+    """Parse one datagram frame; raises :class:`NetworkError` if malformed."""
+    if len(data) < _HEADER.size:
+        raise NetworkError("datagram shorter than frame header")
+    magic, sent_at, src_len, dst_len = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise NetworkError(f"bad frame magic {magic!r}")
+    offset = _HEADER.size
+    if len(data) < offset + src_len + dst_len:
+        raise NetworkError("truncated frame addresses")
+    source = EndpointAddress.unmarshal(data[offset : offset + src_len])
+    offset += src_len
+    dest = EndpointAddress.unmarshal(data[offset : offset + dst_len])
+    offset += dst_len
+    return source, dest, sent_at, data[offset:]
+
+
+class _NodeProtocol(asyncio.DatagramProtocol):
+    """Receives datagrams for one bound node socket."""
+
+    def __init__(self, owner: "UdpTransport") -> None:
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._owner._on_datagram(data)
+
+    def error_received(self, exc: Exception) -> None:
+        # ICMP port-unreachable etc.: best-effort substrate, ignore —
+        # reliability layers above recover exactly as they do from loss.
+        pass
+
+
+class UdpTransport:
+    """Best-effort datagram transport over real OS UDP sockets.
+
+    Drop-in for the ``network`` slot of a world: endpoints
+    :meth:`attach` with a callback, the COM layer calls :meth:`unicast`
+    / :meth:`multicast`, counters land in :attr:`stats`.
+    """
+
+    def __init__(
+        self,
+        engine: RealtimeEngine,
+        mtu: int = DEFAULT_MTU,
+        name: str = "udp-os",
+    ) -> None:
+        self.engine = engine
+        self.mtu = mtu
+        self.name = name
+        self.stats = TransportStats()
+        #: node name -> (host, port) for every known node, local or remote.
+        self.peers: Dict[str, Tuple[str, int]] = {}
+        self._socks: Dict[str, asyncio.DatagramTransport] = {}
+        self._endpoints: Dict[EndpointAddress, DeliveryCallback] = {}
+        self._dead_nodes: Set[str] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Socket lifecycle
+    # ------------------------------------------------------------------
+
+    async def bind(
+        self, node: str, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Open the UDP socket for local ``node``; returns the bound address.
+
+        ``port=0`` lets the OS pick a free port (tests); fixed ports are
+        what real deployments advertise to their peers.
+        """
+        if node in self._socks:
+            raise AddressError(f"node {node!r} already bound on {self.name}")
+        transport, _ = await self.engine.loop.create_datagram_endpoint(
+            lambda: _NodeProtocol(self), local_addr=(host, port)
+        )
+        sockaddr = transport.get_extra_info("sockname")
+        bound = (sockaddr[0], sockaddr[1])
+        self._socks[node] = transport
+        self.peers[node] = bound
+        return bound
+
+    def bind_sync(
+        self, node: str, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Blocking :meth:`bind` for synchronous setup code."""
+        return self.engine.sync(self.bind(node, host, port))
+
+    def add_peer(self, node: str, host: str, port: int) -> None:
+        """Teach the transport where remote ``node`` listens."""
+        self.peers[node] = (host, port)
+
+    def close(self) -> None:
+        """Close every bound socket.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for transport in self._socks.values():
+            transport.close()
+        self._socks.clear()
+
+    # ------------------------------------------------------------------
+    # Attachment and node lifecycle (Network contract)
+    # ------------------------------------------------------------------
+
+    def attach(self, address: EndpointAddress, deliver: DeliveryCallback) -> None:
+        """Register ``address``; incoming packets invoke ``deliver``."""
+        if address in self._endpoints:
+            raise AddressError(f"address {address} already attached to {self.name}")
+        self._endpoints[address] = deliver
+
+    def detach(self, address: EndpointAddress) -> None:
+        """Unregister ``address``.  Unknown addresses raise."""
+        if address not in self._endpoints:
+            raise AddressError(f"address {address} not attached to {self.name}")
+        del self._endpoints[address]
+
+    def attached(self, address: EndpointAddress) -> bool:
+        """Whether ``address`` is currently registered."""
+        return address in self._endpoints
+
+    def addresses(self) -> Iterable[EndpointAddress]:
+        """Snapshot of currently attached addresses."""
+        return list(self._endpoints)
+
+    def crash_node(self, node: str) -> None:
+        """Fail-stop ``node`` locally: it stops sending and receiving."""
+        self._dead_nodes.add(node)
+
+    def revive_node(self, node: str) -> None:
+        """Bring a crashed node back (it must re-join groups itself)."""
+        self._dead_nodes.discard(node)
+
+    def node_alive(self, node: str) -> bool:
+        """Whether ``node`` is currently up (locally, as far as we know)."""
+        return node not in self._dead_nodes
+
+    # ------------------------------------------------------------------
+    # Transmission (Network contract)
+    # ------------------------------------------------------------------
+
+    def unicast(
+        self,
+        source: EndpointAddress,
+        dest: EndpointAddress,
+        payload: bytes,
+    ) -> None:
+        """Send ``payload`` from ``source`` to ``dest``, best effort."""
+        if len(payload) > self.mtu:
+            raise PacketTooLargeError(len(payload), self.mtu)
+        sock = self._socks.get(source.node)
+        if sock is None:
+            raise AddressError(f"node {source.node!r} has no socket on {self.name}")
+        if not self.node_alive(source.node):
+            raise NetworkError(f"node {source.node} has crashed and cannot send")
+        self.stats.note_send(source.node, len(payload))
+        target = self.peers.get(dest.node)
+        if target is None:
+            self.stats.packets_unroutable += 1
+            return
+        frame = encode_frame(source, dest, payload, time.monotonic())
+        sock.sendto(frame, target)
+
+    def multicast(
+        self,
+        source: EndpointAddress,
+        dests: Iterable[EndpointAddress],
+        payload: bytes,
+    ) -> None:
+        """Unicast fan-out, the same software multicast the DES network
+        performs: each destination sees independent loss and delay."""
+        for dest in dests:
+            if dest == source:
+                continue
+            self.unicast(source, dest, payload)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def _on_datagram(self, data: bytes) -> None:
+        """Socket receive path: decode the frame, demux to the endpoint."""
+        try:
+            source, dest, sent_at, payload = decode_frame(data)
+        except NetworkError:
+            self.stats.packets_undecodable += 1
+            return
+        if not self.node_alive(dest.node):
+            self.stats.packets_to_dead += 1
+            return
+        callback = self._endpoints.get(dest)
+        if callback is None:
+            self.stats.packets_lost += 1
+            return
+        latency = time.monotonic() - sent_at
+        self.stats.note_delivery(len(payload), latency)
+        callback(Packet(source=source, dest=dest, payload=payload, sent_at=sent_at))
+
+    def __repr__(self) -> str:
+        return (
+            f"<UdpTransport {self.name!r} nodes={sorted(self._socks)} "
+            f"endpoints={len(self._endpoints)} mtu={self.mtu}>"
+        )

@@ -8,7 +8,9 @@ is invoked as an event, never concurrently for the same group object.
 
 Public surface:
 
-* :class:`~repro.sim.scheduler.Scheduler` — virtual-time event loop.
+* :class:`~repro.sim.scheduler.Scheduler` — virtual-time event loop
+  (one of two implementations of :class:`~repro.runtime.clock.Clock`;
+  the wall-clock one lives in :mod:`repro.runtime`).
 * :class:`~repro.sim.timers.Timer` / :class:`~repro.sim.timers.PeriodicTimer`
   — cancellable timers built on the scheduler.
 * :class:`~repro.sim.rand.RandomRouter` — named, independently seeded
@@ -17,6 +19,7 @@ Public surface:
   by the executable specifications in :mod:`repro.verify`.
 """
 
+from repro.runtime.clock import Clock
 from repro.sim.concurrency import EventCounter, MonitorLock
 from repro.sim.rand import RandomRouter
 from repro.sim.scheduler import EventHandle, Scheduler
@@ -24,6 +27,7 @@ from repro.sim.timers import PeriodicTimer, Timer
 from repro.sim.trace import TraceRecord, TraceRecorder
 
 __all__ = [
+    "Clock",
     "EventCounter",
     "EventHandle",
     "MonitorLock",

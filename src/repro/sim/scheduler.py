@@ -5,10 +5,15 @@ entries.  Ties on time are broken by insertion order, which makes every
 simulation run fully deterministic for a given seed: two events scheduled
 for the same instant always fire in the order they were scheduled.
 
-This is the substrate beneath every simulated network and every protocol
-stack in the package.  Layers never spin or block; they schedule
-continuations, exactly as in the event-queue execution model the Horus
-paper describes in Section 3.
+This is the virtual-time substrate beneath every simulated network and
+protocol stack in the package.  Layers never spin or block; they
+schedule continuations, exactly as in the event-queue execution model
+the Horus paper describes in Section 3.
+
+The scheduler is one of two implementations of the
+:class:`~repro.runtime.clock.Clock` interface (the other is the
+wall-clock :class:`~repro.runtime.engine.RealtimeEngine`); protocol
+code only ever sees the interface.
 """
 
 from __future__ import annotations
@@ -18,39 +23,12 @@ import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.runtime.clock import Clock, EventHandle
+
+__all__ = ["EventHandle", "Scheduler"]
 
 
-class EventHandle:
-    """A cancellable reference to a scheduled event.
-
-    Cancellation is *lazy*: the entry stays in the heap but is skipped
-    when popped.  This keeps :meth:`Scheduler.cancel` O(1).
-    """
-
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
-
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn: Optional[Callable[..., Any]] = fn
-        self.args = args
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
-        self.fn = None
-        self.args = ()
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
-
-
-class Scheduler:
+class Scheduler(Clock):
     """Deterministic virtual-time event loop.
 
     Typical use::

@@ -1,4 +1,4 @@
-"""Timers built on the discrete-event scheduler.
+"""Timers built on the clock interface.
 
 Protocol layers use timers for retransmission, heartbeats, token
 circulation, and stability gossip.  Two shapes cover all of these:
@@ -7,107 +7,17 @@ circulation, and stability gossip.  Two shapes cover all of these:
   retransmission timer).
 * :class:`PeriodicTimer` — fires at a fixed period until stopped (a
   heartbeat or gossip timer).
+
+The implementations live in :mod:`repro.runtime.clock` because they are
+written against the substrate-neutral :class:`~repro.runtime.clock.Clock`
+interface: the same timer objects count virtual seconds on the
+discrete-event :class:`~repro.sim.scheduler.Scheduler` and wall-clock
+seconds on the :class:`~repro.runtime.engine.RealtimeEngine`.  This
+module remains the historical import location.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from repro.runtime.clock import EventHandle, PeriodicTimer, Timer
 
-from repro.sim.scheduler import EventHandle, Scheduler
-
-
-class Timer:
-    """A restartable one-shot timer.
-
-    ``start()`` arms the timer; arming an armed timer re-arms it (the
-    previous deadline is cancelled).  The callback runs once per arming.
-    """
-
-    def __init__(
-        self,
-        scheduler: Scheduler,
-        interval: float,
-        callback: Callable[..., Any],
-        *args: Any,
-    ) -> None:
-        self._scheduler = scheduler
-        self.interval = interval
-        self._callback = callback
-        self._args = args
-        self._handle: Optional[EventHandle] = None
-
-    @property
-    def armed(self) -> bool:
-        """Whether the timer is currently counting down."""
-        return self._handle is not None and not self._handle.cancelled
-
-    def start(self, interval: Optional[float] = None) -> None:
-        """Arm (or re-arm) the timer; ``interval`` overrides the default."""
-        self.cancel()
-        delay = self.interval if interval is None else interval
-        self._handle = self._scheduler.call_after(delay, self._fire)
-
-    def cancel(self) -> None:
-        """Disarm the timer if armed.  Idempotent."""
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
-
-    def _fire(self) -> None:
-        self._handle = None
-        self._callback(*self._args)
-
-
-class PeriodicTimer:
-    """Fires ``callback`` every ``period`` seconds until stopped.
-
-    The first firing happens one full period after :meth:`start` unless
-    ``immediate=True`` is passed, in which case it fires at once (useful
-    for protocols that want an initial heartbeat straight away).
-    """
-
-    def __init__(
-        self,
-        scheduler: Scheduler,
-        period: float,
-        callback: Callable[..., Any],
-        *args: Any,
-    ) -> None:
-        self._scheduler = scheduler
-        self.period = period
-        self._callback = callback
-        self._args = args
-        self._handle: Optional[EventHandle] = None
-        self._running = False
-        #: Number of times the timer has fired since construction.
-        self.fired = 0
-
-    @property
-    def running(self) -> bool:
-        """Whether the timer is currently ticking."""
-        return self._running
-
-    def start(self, immediate: bool = False) -> None:
-        """Begin periodic firing.  Starting a running timer restarts it."""
-        self.stop()
-        self._running = True
-        if immediate:
-            self._handle = self._scheduler.call_soon(self._fire)
-        else:
-            self._handle = self._scheduler.call_after(self.period, self._fire)
-
-    def stop(self) -> None:
-        """Stop firing.  Idempotent."""
-        self._running = False
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
-
-    def _fire(self) -> None:
-        if not self._running:
-            return
-        self.fired += 1
-        # Reschedule before running the callback so a callback that stops
-        # the timer wins over the reschedule.
-        self._handle = self._scheduler.call_after(self.period, self._fire)
-        self._callback(*self._args)
+__all__ = ["EventHandle", "PeriodicTimer", "Timer"]

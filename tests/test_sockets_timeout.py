@@ -1,0 +1,98 @@
+"""HorusSocket.recvfrom(timeout=...) on both substrates.
+
+The timeout form drives the world itself: a bounded virtual-time wait on
+the DES, a genuine blocking-with-deadline on the realtime engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import World
+from repro.layers import HorusSocket
+from repro.runtime.world import RealtimeWorld
+
+REALTIME_STACK = (
+    "TOTAL:MBRSHIP(join_timeout=0.2,stability_period=0.25)"
+    ":FRAG(max_size=700):NAK:COM"
+)
+
+
+class TestDesTimeout:
+    def make_room(self):
+        world = World(seed=9, network="lan")
+        socks = {}
+        for name in ("ann", "ben"):
+            sock = HorusSocket(world.process(name).endpoint())
+            sock.bind("room")
+            socks[name] = sock
+            world.run(0.5)
+        world.run(2.0)
+        return world, socks
+
+    def test_waits_virtual_time_until_message_arrives(self):
+        world, socks = self.make_room()
+        socks["ann"].sendto(b"hello", "room")
+        before = world.now
+        received = socks["ben"].recvfrom(timeout=5.0)
+        assert received is not None
+        data, addr = received
+        assert data == b"hello" and addr.node == "ann"
+        # The wait consumed bounded virtual time, not the whole budget.
+        assert world.now - before < 5.0
+
+    def test_times_out_and_advances_exactly_to_deadline(self):
+        world, socks = self.make_room()
+        before = world.now
+        assert socks["ben"].recvfrom(timeout=1.0) is None
+        assert world.now == pytest.approx(before + 1.0, abs=1e-6)
+
+    def test_poll_form_is_unchanged(self):
+        world, socks = self.make_room()
+        before = world.now
+        assert socks["ben"].recvfrom() is None
+        assert world.now == before  # no timeout ⇒ pure poll, no run
+        socks["ann"].sendto(b"x", "room")
+        world.run(1.0)
+        assert socks["ben"].recvfrom() == (b"x", socks["ann"].getsockname())
+
+
+@pytest.mark.realtime
+class TestRealtimeTimeout:
+    def make_room(self):
+        world = RealtimeWorld(seed=9)
+        socks = {}
+        for name in ("ann", "ben"):
+            sock = HorusSocket(world.process(name).endpoint(), stack=REALTIME_STACK)
+            sock.bind("room")
+            socks[name] = sock
+        ok = world.run_while(
+            lambda: all(
+                s.handle.view is not None and s.handle.view.size == 2
+                for s in socks.values()
+            ),
+            timeout=8.0,
+        )
+        assert ok, "views never settled"
+        return world, socks
+
+    def test_blocks_until_message_arrives(self):
+        world, socks = self.make_room()
+        try:
+            socks["ann"].sendto(b"over real udp", "room")
+            received = socks["ben"].recvfrom(timeout=5.0)
+            assert received is not None
+            data, addr = received
+            assert data == b"over real udp" and addr.node == "ann"
+        finally:
+            world.close()
+
+    def test_deadline_is_wall_clock(self):
+        world, socks = self.make_room()
+        try:
+            before = world.now
+            assert socks["ben"].recvfrom(timeout=0.15) is None
+            elapsed = world.now - before
+            assert 0.1 <= elapsed < 2.0
+        finally:
+            world.close()
