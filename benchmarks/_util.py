@@ -38,6 +38,25 @@ def table(headers: List[str], rows: List[List[object]]) -> str:
     return "\n".join(lines)
 
 
+def metrics_path(name: str) -> str:
+    """Canonical location of a bench's metrics snapshot."""
+    return os.path.join(RESULTS_DIR, f"{name}.jsonl")
+
+
+def write_metrics_snapshot(world, name: str, meta=None) -> str:
+    """Persist ``world``'s metrics registry as a JSONL snapshot.
+
+    Works for both substrates (``World`` and ``RealtimeWorld`` share the
+    ``write_metrics`` surface).  The artifact renders with
+    ``python -m repro obs-report benchmarks/results/<name>.jsonl``.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = metrics_path(name)
+    world.write_metrics(path, meta=meta)
+    print(f"metrics snapshot: {path}")
+    return path
+
+
 def join_members(world, names, stack, group="bench", settle=0.4, final=2.0):
     """Standard group bring-up used across benches."""
     handles: Dict[str, object] = {}

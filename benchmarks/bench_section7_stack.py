@@ -10,10 +10,10 @@ the very stack over the simulated ATM network and demonstrates each of
 the claimed properties end to end.
 """
 
-from repro import World
+from repro import ObsOptions, World
 from repro.properties import P, check_well_formed
 
-from _util import join_members, report, table
+from _util import join_members, report, table, write_metrics_snapshot
 
 SPEC = "TOTAL:MBRSHIP:FRAG:NAK:COM"
 EXPECTED = frozenset(P(n) for n in (3, 4, 6, 8, 9, 10, 11, 12, 15))
@@ -36,7 +36,10 @@ def test_section7_stack_end_to_end(benchmark):
     """The derived properties hold in execution, not just in the table."""
 
     def run():
-        world = World(seed=4, network="atm", trace=False)
+        # Full layer metrics; cap retained spans so the checked-in
+        # snapshot stays small (metrics are complete either way).
+        obs = ObsOptions(layer_metrics=True, spans=True, max_spans=200)
+        world = World(seed=4, network="atm", trace=False, obs=obs)
         handles = join_members(world, ["a", "b", "c"], SPEC)
         # P12: large messages (way beyond a fragment).
         handles["a"].cast(b"L" * 5000)
@@ -64,3 +67,9 @@ def test_section7_stack_end_to_end(benchmark):
         ["final view size", handles["a"].view.size],
     ]
     report("section7_end_to_end", table(["check", "result"], rows))
+    # The per-layer observability snapshot of this exact run: where every
+    # message spent its path through TOTAL:MBRSHIP:FRAG:NAK:COM.  Render
+    # it with `python -m repro obs-report benchmarks/results/section7_metrics.jsonl`.
+    write_metrics_snapshot(
+        world, "section7_metrics", meta={"bench": "section7_stack", "stack": SPEC}
+    )

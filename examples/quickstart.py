@@ -8,14 +8,16 @@ view change — the whole Horus experience in ~40 lines.
 Run:  python examples/quickstart.py
 """
 
-from repro import World
+from repro import ObsOptions, StackConfig, World
 
-STACK = "MBRSHIP:FRAG:NAK:COM"
+STACK = StackConfig(spec="MBRSHIP:FRAG:NAK:COM")
 
 
 def main() -> None:
     # One deterministic simulation world: scheduler + LAN + directory.
-    world = World(seed=42, network="lan")
+    # ObsOptions.full() turns on the per-layer metrics and message spans
+    # rendered at the end (see `python -m repro obs-report`).
+    world = World(seed=42, network="lan", obs=ObsOptions.full())
 
     # Three processes, one endpoint each, all joining group "demo".
     handles = {}
@@ -58,6 +60,16 @@ def main() -> None:
             f"{handle.view.size} members; last message: "
             f"{handle.delivery_log[-1].data.decode()!r}"
         )
+
+    # Every layer was instrumented while the demo ran; render the
+    # per-layer latency/byte table from the shared registry.
+    import io
+
+    from repro.obs import read_jsonl, render_jsonl, render_layer_report
+
+    snapshot = read_jsonl(io.StringIO(render_jsonl(world.metrics, world.spans)))
+    print("\n== observability ==")
+    print(render_layer_report(snapshot))
 
 
 if __name__ == "__main__":

@@ -54,6 +54,7 @@ from repro.core import (
     Message,
     Process,
     Stack,
+    StackConfig,
     Upcall,
     UpcallType,
     View,
@@ -64,6 +65,7 @@ from repro.core import (
     parse_stack_spec,
 )
 from repro.net import EndpointAddress, FaultModel, GroupAddress
+from repro.obs import MetricsRegistry, ObsOptions, SpanRecorder
 
 _LAZY_EXPORTS = {
     # Realtime substrate: loaded on first touch so `import repro` stays
@@ -98,10 +100,14 @@ __all__ = [
     "Layer",
     "LayerContext",
     "Message",
+    "MetricsRegistry",
+    "ObsOptions",
     "Process",
     "RealtimeEngine",
     "RealtimeWorld",
+    "SpanRecorder",
     "Stack",
+    "StackConfig",
     "UdpTransport",
     "Upcall",
     "UpcallType",

@@ -7,6 +7,9 @@ Commands:
 * ``synthesize P9 P6 [--network atm]`` — build the minimal stack for a
   set of required properties and show the derivation (Section 6).
 * ``demo`` — a 30-second tour: join, cast, crash, view change.
+* ``obs-report snapshot.jsonl`` — render the per-layer latency/byte
+  table (and optionally network counters) from a metrics snapshot
+  written by ``World.write_metrics`` or a benchmark's ``--metrics-out``.
 """
 
 from __future__ import annotations
@@ -93,6 +96,38 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+def _cmd_obs_report(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.obs import read_jsonl, render_layer_report, render_network_report
+
+    try:
+        snapshot = read_jsonl(args.snapshot)
+    except OSError as exc:
+        print(f"error: cannot read {args.snapshot}: {exc}", file=sys.stderr)
+        return 2
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sections = []
+    if not args.network_only:
+        try:
+            sections.append(render_layer_report(snapshot))
+        except ConfigurationError as exc:
+            if args.network:
+                sections.append(f"(no layer table: {exc})")
+            else:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+    if args.network or args.network_only:
+        sections.append(render_network_report(snapshot))
+    try:
+        print("\n\n".join(sections))
+    except BrokenPipeError:
+        # Piped into head/less and the reader left; not an error.
+        return 0
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -110,12 +145,21 @@ def main(argv: List[str] = None) -> int:
     synth.add_argument("--network", default="atm",
                        choices=["atm", "udp", "lan", "plain"])
     sub.add_parser("demo", help="a 30-second simulated group tour")
+    report = sub.add_parser(
+        "obs-report", help="per-layer table from a metrics snapshot"
+    )
+    report.add_argument("snapshot", help="JSONL snapshot path")
+    report.add_argument("--network", action="store_true",
+                        help="also list network/transport counters")
+    report.add_argument("--network-only", action="store_true",
+                        help="only the network/transport counters")
     args = parser.parse_args(argv)
     handlers = {
         "tables": _cmd_tables,
         "layers": _cmd_layers,
         "synthesize": _cmd_synthesize,
         "demo": _cmd_demo,
+        "obs-report": _cmd_obs_report,
     }
     return handlers[args.command](args)
 

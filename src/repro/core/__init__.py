@@ -39,6 +39,7 @@ from repro.core.message import Message
 from repro.core.process import GuardedScheduler, Process, World
 from repro.core.stack import (
     Stack,
+    StackConfig,
     build_stack,
     format_stack_spec,
     known_layers,
@@ -63,6 +64,7 @@ __all__ = [
     "Message",
     "Process",
     "Stack",
+    "StackConfig",
     "Upcall",
     "UpcallType",
     "View",

@@ -16,12 +16,13 @@ simulation and on the realtime engine + OS-UDP transport unchanged.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.core.events import Downcall, DowncallType, Upcall, UpcallType
 from repro.core.group import DeliveredMessage, GroupHandle
 from repro.core.layer import LayerContext
-from repro.core.stack import Stack, build_stack
+from repro.core.stack import Stack, StackConfig
+from repro.obs import ObsOptions
 from repro.core.view import View
 from repro.errors import EndpointError, HeaderError
 from repro.net.address import EndpointAddress, GroupAddress
@@ -59,7 +60,7 @@ class Endpoint:
     def join(
         self,
         group: str,
-        stack: str = DEFAULT_STACK,
+        stack: Union[str, StackConfig] = DEFAULT_STACK,
         on_message: Optional[Callable[[DeliveredMessage], None]] = None,
         on_view: Optional[Callable[[View], None]] = None,
         on_stable: Optional[Callable[[Dict[Any, Any]], None]] = None,
@@ -70,14 +71,28 @@ class Endpoint:
     ) -> GroupHandle:
         """Join ``group`` through a protocol stack built from ``stack``.
 
-        The stack spec is the paper's top-to-bottom colon notation, e.g.
-        ``"TOTAL:MBRSHIP:FRAG:NAK:COM"``.  Returns the group handle
-        (Table 1's ``join`` downcall "join group and return handle").
+        ``stack`` is either a :class:`~repro.core.stack.StackConfig` or
+        a spec string in the paper's top-to-bottom colon notation, e.g.
+        ``"TOTAL:MBRSHIP:FRAG:NAK:COM"`` (``dispatch``/``overrides``
+        then apply; with a config they must be left at their defaults).
+        Returns the group handle (Table 1's ``join`` downcall "join
+        group and return handle").
         """
         self._check_alive()
         group_addr = GroupAddress(group)
         if group_addr in self._groups:
             raise EndpointError(f"{self.address} already joined {group}")
+        if isinstance(stack, StackConfig):
+            if dispatch != "direct" or overrides is not None:
+                raise EndpointError(
+                    "pass dispatch/overrides inside the StackConfig, "
+                    "not alongside it"
+                )
+            config = stack
+        else:
+            config = StackConfig(
+                spec=stack, dispatch=dispatch, overrides=overrides
+            )
         handle = GroupHandle(
             endpoint_address=self.address,
             group=group_addr,
@@ -99,10 +114,11 @@ class Endpoint:
             wire_mode=world.wire_mode,
             directory=world.directory,
             process=self.process,
+            metrics=getattr(world, "metrics", None),
+            spans=getattr(world, "spans", None),
+            obs=getattr(world, "obs", None) or ObsOptions(),
         )
-        built = build_stack(
-            stack, context, handle.deliver_upcall, dispatch=dispatch, overrides=overrides
-        )
+        built = config.build(context, handle.deliver_upcall)
         handle.attach_stack(built)
         self._groups[group_addr] = handle
         self._stacks[group_addr] = built

@@ -170,9 +170,17 @@ class GroupHandle:
         """The ``dump`` downcall: introspection of every layer."""
         return self.stack.dump()
 
-    def focus(self, layer_name: str):
-        """The ``focus`` downcall: a handle on one layer by name."""
-        return self.stack.focus(layer_name)
+    def focus(self, layer_name: str, topmost: bool = False):
+        """The ``focus`` downcall: a handle on one layer by name.
+
+        Raises when the name is ambiguous unless ``topmost=True``; see
+        :meth:`repro.core.stack.Stack.focus`.
+        """
+        return self.stack.focus(layer_name, topmost=topmost)
+
+    def focus_all(self, layer_name: str):
+        """Every instance of one layer, top first (may be empty)."""
+        return self.stack.focus_all(layer_name)
 
     # ------------------------------------------------------------------
     # Receiving

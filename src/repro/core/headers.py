@@ -115,6 +115,11 @@ class BitReader:
 class FieldType:
     """Encodes/decodes one header field and knows its ideal bit width."""
 
+    #: Encoded size in bytes when it does not depend on the value
+    #: (``None`` for length-prefixed types).  Lets codecs precompute the
+    #: fixed part of a header's wire size.
+    fixed_byte_size: Optional[int] = None
+
     def encode(self, value: Any, out: bytearray) -> None:
         raise NotImplementedError
 
@@ -124,6 +129,17 @@ class FieldType:
     def bit_size(self, value: Any) -> int:
         """Minimum bits this value needs in a bit-packed header."""
         raise NotImplementedError
+
+    def byte_size(self, value: Any) -> int:
+        """Exact :meth:`encode` output size, without building the bytes.
+
+        The default really encodes; fixed- and length-prefixed types
+        override with arithmetic so size queries (the observability
+        plane's header accounting) stay off the allocation path.
+        """
+        out = bytearray()
+        self.encode(value, out)
+        return len(out)
 
     # Bit-packed forms; the default round-trips through the byte codec
     # so every field type works in packed mode even before it has a
@@ -145,6 +161,7 @@ class _UInt(FieldType):
         self._fmt = ">" + fmt
         self._bits = bits
         self._size = struct.calcsize(self._fmt)
+        self.fixed_byte_size = self._size
 
     def encode(self, value: Any, out: bytearray) -> None:
         out += struct.pack(self._fmt, int(value))
@@ -156,6 +173,9 @@ class _UInt(FieldType):
     def bit_size(self, value: Any) -> int:
         return self._bits
 
+    def byte_size(self, value: Any) -> int:
+        return self._size
+
     def encode_bits(self, value: Any, writer: BitWriter) -> None:
         writer.write(int(value), self._bits)
 
@@ -164,6 +184,8 @@ class _UInt(FieldType):
 
 
 class _Bool(FieldType):
+    fixed_byte_size = 1
+
     def encode(self, value: Any, out: bytearray) -> None:
         out.append(1 if value else 0)
 
@@ -175,6 +197,9 @@ class _Bool(FieldType):
     def bit_size(self, value: Any) -> int:
         return 1  # the paper's FRAG example: one bit of real information
 
+    def byte_size(self, value: Any) -> int:
+        return 1
+
     def encode_bits(self, value: Any, writer: BitWriter) -> None:
         writer.write(1 if value else 0, 1)
 
@@ -183,6 +208,8 @@ class _Bool(FieldType):
 
 
 class _Float(FieldType):
+    fixed_byte_size = 8
+
     def encode(self, value: Any, out: bytearray) -> None:
         out += struct.pack(">d", float(value))
 
@@ -192,6 +219,9 @@ class _Float(FieldType):
 
     def bit_size(self, value: Any) -> int:
         return 64
+
+    def byte_size(self, value: Any) -> int:
+        return 8
 
     def encode_bits(self, value: Any, writer: BitWriter) -> None:
         (as_int,) = struct.unpack(">Q", struct.pack(">d", float(value)))
@@ -219,6 +249,9 @@ class _VarBytes(FieldType):
     def bit_size(self, value: Any) -> int:
         return 32 + 8 * len(bytes(value))
 
+    def byte_size(self, value: Any) -> int:
+        return 4 + len(bytes(value))
+
     def encode_bits(self, value: Any, writer: BitWriter) -> None:
         data = bytes(value)
         writer.write(len(data), 32)
@@ -244,6 +277,9 @@ class _Text(FieldType):
 
     def bit_size(self, value: Any) -> int:
         return 16 + 8 * len(str(value).encode("utf-8"))
+
+    def byte_size(self, value: Any) -> int:
+        return 2 + len(str(value).encode("utf-8"))
 
     def encode_bits(self, value: Any, writer: BitWriter) -> None:
         data = str(value).encode("utf-8")
@@ -273,6 +309,9 @@ class _Address(FieldType):
     def bit_size(self, value: Any) -> int:
         return 8 + 8 * len(value.marshal())
 
+    def byte_size(self, value: Any) -> int:
+        return 1 + len(value.marshal())
+
     def encode_bits(self, value: Any, writer: BitWriter) -> None:
         data = value.marshal()
         writer.write(len(data), 8)
@@ -300,6 +339,9 @@ class _Group(FieldType):
 
     def bit_size(self, value: Any) -> int:
         return 8 + 8 * len(value.marshal())
+
+    def byte_size(self, value: Any) -> int:
+        return 1 + len(value.marshal())
 
     def encode_bits(self, value: Any, writer: BitWriter) -> None:
         data = value.marshal()
@@ -333,6 +375,9 @@ class ListOf(FieldType):
 
     def bit_size(self, value: Any) -> int:
         return 16 + sum(self.element.bit_size(item) for item in value)
+
+    def byte_size(self, value: Any) -> int:
+        return 2 + sum(self.element.byte_size(item) for item in value)
 
     def encode_bits(self, value: Any, writer: BitWriter) -> None:
         items = list(value)
@@ -372,6 +417,12 @@ class MapOf(FieldType):
     def bit_size(self, value: Any) -> int:
         return 16 + sum(
             self.key.bit_size(k) + self.value.bit_size(v) for k, v in value.items()
+        )
+
+    def byte_size(self, value: Any) -> int:
+        return 2 + sum(
+            self.key.byte_size(k) + self.value.byte_size(v)
+            for k, v in value.items()
         )
 
     def encode_bits(self, value: Any, writer: BitWriter) -> None:
@@ -428,6 +479,16 @@ class HeaderCodec:
         self.layer = layer
         self.fields = list(fields)
         self.defaults = dict(defaults or {})
+        # Precomputed split for wire_size: fixed-width fields contribute
+        # a constant; only length-prefixed ones need the value.
+        self._fixed_wire = 0
+        self._var_fields: List[FieldSpec] = []
+        for name, ftype in self.fields:
+            fixed = ftype.fixed_byte_size
+            if fixed is not None:
+                self._fixed_wire += fixed
+            else:
+                self._var_fields.append((name, ftype))
 
     def encode(self, header: Header) -> bytes:
         """Encode ``header`` to exact (unpadded) bytes."""
@@ -470,6 +531,19 @@ class HeaderCodec:
         for name, ftype in self.fields:
             value = header.get(name, self.defaults.get(name))
             total += ftype.bit_size(value)
+        return total
+
+    def wire_size(self, header: Header) -> int:
+        """Exact :meth:`encode` output size in bytes, without encoding."""
+        total = self._fixed_wire
+        for name, ftype in self._var_fields:
+            if name in header:
+                value = header[name]
+            elif name in self.defaults:
+                value = self.defaults[name]
+            else:
+                raise HeaderError(f"{self.layer}: missing header field {name!r}")
+            total += ftype.byte_size(value)
         return total
 
     def encode_bits(self, header: Header, writer: BitWriter) -> None:

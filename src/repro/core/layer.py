@@ -19,6 +19,7 @@ from repro.core.headers import DEFAULT_REGISTRY, HeaderRegistry
 from repro.errors import StackError
 from repro.net.address import EndpointAddress, GroupAddress
 from repro.net.network import Network
+from repro.obs import MetricsRegistry, ObsOptions, SpanRecorder
 from repro.runtime.clock import PeriodicTimer, Timer
 from repro.sim.trace import TraceRecorder
 
@@ -51,6 +52,14 @@ class LayerContext:
     #: Cross-layer blackboard for one stack (e.g. KEYDIST publishes the
     #: group key source here for a CRYPT layer lower in the stack).
     shared: Dict[str, Any] = dataclass_field(default_factory=dict)
+    #: The world's shared metrics registry (``None`` for bare contexts;
+    #: network counters and the per-layer seam both feed it).
+    metrics: Optional[MetricsRegistry] = None
+    #: The world's message-path span recorder, if it keeps one.
+    spans: Optional[SpanRecorder] = None
+    #: World-level instrumentation defaults; a per-stack
+    #: :class:`~repro.core.stack.StackConfig` can override them.
+    obs: ObsOptions = dataclass_field(default_factory=ObsOptions)
 
     @property
     def now(self) -> float:
@@ -81,6 +90,9 @@ class Layer:
         self.stopped = False
         #: Event counters, reported by the ``dump`` downcall (Table 1).
         self.counters: Dict[str, int] = {"down": 0, "up": 0}
+        #: The stack's :class:`~repro.obs.StackObserver`, installed by
+        #: the stack builder when instrumentation is enabled.
+        self.observer: Any = None
 
     # ------------------------------------------------------------------
     # The HCPI edges
@@ -91,14 +103,37 @@ class Layer:
         if self.stopped:
             return
         self.counters["down"] += 1
-        self.handle_down(downcall)
+        observer = self.observer
+        # ``skipping`` is the sampled-out fast path: mid-traversal
+        # crossings of an unsampled message cost this one attribute
+        # read.  The traversal root still brackets (its enter() made
+        # the sampling decision and returned None; exit(None) closes
+        # the skip window).
+        if observer is None or observer.skipping:
+            self.handle_down(downcall)
+            return
+        frame = observer.enter(self.name, "down", downcall)
+        try:
+            self.handle_down(downcall)
+        finally:
+            observer.exit(frame, downcall)
 
     def up(self, upcall: Upcall) -> None:
         """Entry point for upcalls from the layer below."""
         if self.stopped:
             return
         self.counters["up"] += 1
-        self.handle_up(upcall)
+        observer = self.observer
+        # See down(): skip the bracket while a sampled-out traversal
+        # is in flight.
+        if observer is None or observer.skipping:
+            self.handle_up(upcall)
+            return
+        frame = observer.enter(self.name, "up", upcall)
+        try:
+            self.handle_up(upcall)
+        finally:
+            observer.exit(frame, upcall)
 
     def handle_down(self, downcall: Downcall) -> None:
         """Override to process downcalls; default is pass-through."""

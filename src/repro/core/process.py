@@ -23,6 +23,7 @@ from repro.net.atm import AtmNetwork
 from repro.net.lan import LanNetwork
 from repro.net.network import Network
 from repro.net.udp import UdpNetwork
+from repro.obs import MetricsRegistry, ObsOptions, SpanRecorder, write_jsonl
 from repro.sim.rand import RandomRouter
 from repro.sim.scheduler import EventHandle, Scheduler
 from repro.sim.trace import TraceRecorder
@@ -165,6 +166,8 @@ class World:
         wire_mode: str = "aligned",
         trace: bool = True,
         registry: Optional[HeaderRegistry] = None,
+        obs: Optional[ObsOptions] = None,
+        metrics: Optional[MetricsRegistry] = None,
         **network_kwargs: Any,
     ) -> None:
         self.scheduler = Scheduler()
@@ -172,6 +175,14 @@ class World:
         self.trace = TraceRecorder(enabled=trace)
         self.directory = GroupDirectory()
         self.registry = registry or DEFAULT_REGISTRY
+        #: The world's shared metrics registry: network counters always,
+        #: per-layer seam counters when ``obs`` enables them.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.obs = obs if obs is not None else ObsOptions()
+        #: Message-path spans (populated only when ``obs.spans`` is on).
+        self.spans = SpanRecorder(
+            enabled=self.obs.spans, max_spans=self.obs.max_spans
+        )
         if wire_mode not in ("aligned", "compact", "packed"):
             raise ConfigurationError(f"unknown wire mode {wire_mode!r}")
         self.wire_mode = wire_mode
@@ -181,6 +192,9 @@ class World:
                     "network_kwargs only apply when building the network by name"
                 )
             self.network = network
+            # Adopt the pre-built network's counters into this world's
+            # registry so one snapshot covers everything.
+            self.network.stats.rebind(self.metrics)
         else:
             try:
                 net_cls = _NETWORK_KINDS[network]
@@ -190,7 +204,10 @@ class World:
                     f"unknown network kind {network!r}; known kinds: {known}"
                 ) from None
             self.network = net_cls(
-                self.scheduler, rng=self.rng.stream("network"), **network_kwargs
+                self.scheduler,
+                rng=self.rng.stream("network"),
+                metrics=self.metrics,
+                **network_kwargs,
             )
         self._processes: Dict[str, Process] = {}
 
@@ -275,6 +292,19 @@ class World:
     def now(self) -> float:
         """Current virtual time."""
         return self.scheduler.now
+
+    # -- observability -----------------------------------------------------
+
+    def write_metrics(self, path: str, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Write this world's observability snapshot as JSONL to ``path``.
+
+        On the DES the snapshot is a pure function of the seed and the
+        workload — two same-seed runs produce byte-identical files.
+        """
+        merged: Dict[str, Any] = {"substrate": "des", "now": self.now}
+        if meta:
+            merged.update(meta)
+        write_jsonl(path, self.metrics, self.spans, meta=merged)
 
     def __repr__(self) -> str:
         return (

@@ -15,12 +15,14 @@ is a queued event) so the overhead of each can be compared.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Type
 
 from repro.core.events import Downcall, Upcall
 from repro.core.layer import Layer, LayerContext
 from repro.errors import StackError
+from repro.obs import ObsOptions, SpanRecorder, StackObserver
 
 # ----------------------------------------------------------------------
 # Layer class registry
@@ -189,24 +191,31 @@ class EventPump:
     appends a thunk here; a single scheduler event drains the queue.
     This serializes all work per stack (the paper's event-queue model)
     at the price of one queue operation per boundary.
+
+    With an observer attached, each crossing's queue residency (enqueue
+    to execution) feeds the ``stack_queue_residency_seconds`` histogram.
     """
 
-    def __init__(self, scheduler: Any) -> None:
+    def __init__(self, scheduler: Any, observer: Optional[StackObserver] = None) -> None:
         self._scheduler = scheduler
-        self._queue: Deque[Tuple[Callable[..., None], Any]] = deque()
+        self._queue: Deque[Tuple[Callable[..., None], Any, float]] = deque()
         self._scheduled = False
+        self.observer = observer
 
     def post(self, fn: Callable[..., None], event: Any) -> None:
         """Enqueue one crossing and ensure a drain is scheduled."""
-        self._queue.append((fn, event))
+        self._queue.append((fn, event, self._scheduler.now))
         if not self._scheduled:
             self._scheduled = True
             self._scheduler.call_soon(self._drain)
 
     def _drain(self) -> None:
         self._scheduled = False
+        observer = self.observer
         while self._queue:
-            fn, event = self._queue.popleft()
+            fn, event, posted = self._queue.popleft()
+            if observer is not None:
+                observer.note_queue_wait(self._scheduler.now - posted)
             fn(event)
 
 
@@ -232,9 +241,12 @@ class _QueuedRef:
 class Stack:
     """A fully wired protocol stack for one (endpoint, group) pair.
 
-    Build one with :func:`build_stack`.  The application (in practice
-    the :class:`~repro.core.group.GroupHandle`) calls :meth:`down` and
-    receives upcalls through the ``deliver`` callback it supplied.
+    Build one with :meth:`StackConfig.build`.  The application (in
+    practice the :class:`~repro.core.group.GroupHandle`) calls
+    :meth:`down` and receives upcalls through the ``deliver`` callback
+    it supplied.  When an observer is installed, every HCPI boundary
+    crossing in every layer reports to it — the layers themselves carry
+    no instrumentation code.
     """
 
     def __init__(
@@ -243,6 +255,7 @@ class Stack:
         context: LayerContext,
         deliver: Callable[[Upcall], None],
         dispatch: str = "direct",
+        observer: Optional[StackObserver] = None,
     ) -> None:
         if not layers:
             raise StackError("a stack needs at least one layer")
@@ -251,15 +264,26 @@ class Stack:
         self.layers = layers  # index 0 = top
         self.context = context
         self.dispatch = dispatch
+        self.observer = observer
         self._top_edge = _TopEdge(deliver)
         self._bottom_edge = _BottomEdge()
-        self._pump = EventPump(context.scheduler) if dispatch == "queued" else None
+        self._pump = (
+            EventPump(context.scheduler, observer) if dispatch == "queued" else None
+        )
         self._wire()
+        if observer is not None:
+            # Exact event counts come from the layers' own counters,
+            # reconciled at export time — the observer's hot path never
+            # touches the events family (see LayerEventSync).
+            sync = observer.event_sync(self.layers)
+            if sync is not None and context.metrics is not None:
+                context.metrics.add_collector(sync)
         self.started = False
 
     def _wire(self) -> None:
         """Connect ``above``/``below`` references, possibly via the pump."""
         for i, layer in enumerate(self.layers):
+            layer.observer = self.observer
             above = self._top_edge if i == 0 else self.layers[i - 1]
             below = (
                 self._bottom_edge if i == len(self.layers) - 1 else self.layers[i + 1]
@@ -299,12 +323,28 @@ class Stack:
 
     # -- introspection (Table 1: focus, dump) ------------------------------
 
-    def focus(self, name: str) -> Layer:
-        """Return the (topmost) layer instance with the given name."""
-        for layer in self.layers:
-            if layer.name == name:
-                return layer
-        raise StackError(f"no layer named {name!r} in this stack")
+    def focus(self, name: str, topmost: bool = False) -> Layer:
+        """Return the unique layer instance with the given name.
+
+        A stack may legitimately contain a layer twice (e.g. two CRYPT
+        instances bracketing a gateway); silently returning the first
+        hid that.  When the name is ambiguous this raises unless
+        ``topmost=True`` explicitly asks for the uppermost instance;
+        :meth:`focus_all` returns every match.
+        """
+        matches = self.focus_all(name)
+        if not matches:
+            raise StackError(f"no layer named {name!r} in this stack")
+        if len(matches) > 1 and not topmost:
+            raise StackError(
+                f"layer name {name!r} is ambiguous: {len(matches)} instances "
+                f"in {self.spec()}; pass topmost=True or use focus_all()"
+            )
+        return matches[0]
+
+    def focus_all(self, name: str) -> List[Layer]:
+        """Every layer instance with the given name, top first."""
+        return [layer for layer in self.layers if layer.name == name]
 
     def has_layer(self, name: str) -> bool:
         """Whether a layer with this name is in the stack."""
@@ -322,6 +362,88 @@ class Stack:
         return f"<Stack {self.spec()} for {self.context.endpoint}/{self.context.group}>"
 
 
+class StackConfig:
+    """Keyword-only description of one protocol stack to build.
+
+    Collects everything that used to travel as loose positional
+    arguments to ``build_stack`` — spec string, dispatch discipline,
+    per-layer overrides — plus the observability switches, in one
+    reusable value::
+
+        config = StackConfig(spec="TOTAL:MBRSHIP:FRAG:NAK:COM",
+                             overrides={"FRAG": {"max_size": 512}},
+                             obs=ObsOptions.full())
+        stack = config.build(context, deliver)
+
+    ``overrides`` maps layer names to extra constructor kwargs, merged
+    over any inline arguments in the spec (programmatic configuration
+    wins over the spec string).  ``obs`` overrides the context's
+    world-level :class:`~repro.obs.ObsOptions` for this stack only;
+    leave it ``None`` to inherit.  One config may build many stacks
+    (one per endpoint/group pair); they share the context-provided
+    registry and span recorder but each gets its own observer.
+    """
+
+    def __init__(
+        self,
+        *,
+        spec: str,
+        dispatch: str = "direct",
+        overrides: Optional[Dict[str, Dict[str, Any]]] = None,
+        obs: Optional[ObsOptions] = None,
+    ) -> None:
+        if dispatch not in ("direct", "queued"):
+            raise StackError(f"unknown dispatch mode {dispatch!r}")
+        # Parse eagerly so a bad spec fails where the config is written,
+        # not later at some endpoint's join().
+        self.spec = spec
+        self.parsed = parse_stack_spec(spec)
+        self.dispatch = dispatch
+        self.overrides = dict(overrides) if overrides else {}
+        self.obs = obs
+
+    def build(
+        self, context: LayerContext, deliver: Callable[[Upcall], None]
+    ) -> Stack:
+        """Instantiate, observe, and wire one stack for ``context``."""
+        layers: List[Layer] = []
+        for name, kwargs in self.parsed:
+            cls = layer_class(name)
+            merged = dict(kwargs)
+            if name in self.overrides:
+                merged.update(self.overrides[name])
+            layers.append(cls(context, **merged))
+        observer = self._make_observer(context)
+        return Stack(
+            layers, context, deliver, dispatch=self.dispatch, observer=observer
+        )
+
+    def _make_observer(self, context: LayerContext) -> Optional[StackObserver]:
+        """One observer per stack, or ``None`` when everything is off."""
+        options = self.obs if self.obs is not None else context.obs
+        if options is None or not (options.layer_metrics or options.spans):
+            return None
+        recorder: Optional[SpanRecorder] = None
+        if options.spans:
+            recorder = context.spans
+            if recorder is None:
+                # A standalone stack (tests, scripts) still gets spans;
+                # they are reachable via stack.observer.spans.
+                recorder = SpanRecorder(max_spans=options.max_spans)
+        return StackObserver(
+            context.scheduler,
+            metrics=context.metrics if options.layer_metrics else None,
+            spans=recorder,
+            header_registry=context.registry,
+            endpoint=str(context.endpoint),
+            group=str(context.group),
+            sample=getattr(options, "sample", 1),
+        )
+
+    def __repr__(self) -> str:
+        return f"<StackConfig {self.spec!r} dispatch={self.dispatch}>"
+
+
 def build_stack(
     spec: str,
     context: LayerContext,
@@ -329,18 +451,16 @@ def build_stack(
     dispatch: str = "direct",
     overrides: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> Stack:
-    """Instantiate a stack from a spec string.
+    """Deprecated positional builder; use :class:`StackConfig` instead.
 
-    ``overrides`` maps layer names to extra constructor kwargs, merged
-    over any inline arguments in the spec (programmatic configuration
-    wins over the spec string).
+    Kept as a thin shim over ``StackConfig(...).build(...)`` so existing
+    call sites keep working for one release.
     """
-    parsed = parse_stack_spec(spec)
-    layers: List[Layer] = []
-    for name, kwargs in parsed:
-        cls = layer_class(name)
-        merged = dict(kwargs)
-        if overrides and name in overrides:
-            merged.update(overrides[name])
-        layers.append(cls(context, **merged))
-    return Stack(layers, context, deliver, dispatch=dispatch)
+    warnings.warn(
+        "build_stack() is deprecated; use "
+        "StackConfig(spec=..., dispatch=..., overrides=...).build(context, deliver)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    config = StackConfig(spec=spec, dispatch=dispatch, overrides=overrides)
+    return config.build(context, deliver)

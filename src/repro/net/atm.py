@@ -40,12 +40,14 @@ class AtmNetwork(Network):
         rng: Optional[random.Random] = None,
         mtu: Optional[int] = None,
         name: str = "atm",
+        metrics=None,
     ) -> None:
         if fault_model is None:
             # ATM links are effectively loss-free at protocol timescales.
             fault_model = FaultModel(base_delay=50e-6, jitter=5e-6)
         super().__init__(
-            scheduler, fault_model=fault_model, rng=rng, mtu=mtu, name=name
+            scheduler, fault_model=fault_model, rng=rng, mtu=mtu, name=name,
+            metrics=metrics,
         )
 
     def unicast(self, source, dest, payload: bytes) -> None:

@@ -30,11 +30,13 @@ class LanNetwork(Network):
         rng: Optional[random.Random] = None,
         mtu: Optional[int] = None,
         name: str = "lan",
+        metrics=None,
     ) -> None:
         if fault_model is None:
             fault_model = FaultModel(base_delay=0.0002, jitter=0.0001, loss_rate=0.001)
         super().__init__(
-            scheduler, fault_model=fault_model, rng=rng, mtu=mtu, name=name
+            scheduler, fault_model=fault_model, rng=rng, mtu=mtu, name=name,
+            metrics=metrics,
         )
         #: Number of hardware-multicast transmissions performed.
         self.multicasts_sent = 0

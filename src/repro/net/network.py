@@ -10,40 +10,171 @@ stronger guarantee is the job of a protocol layer.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional, Set
+from typing import Any, Callable, Dict, Iterable, Optional, Set
 
 from repro.errors import AddressError, NetworkError, PacketTooLargeError
 from repro.net.address import EndpointAddress
 from repro.net.faults import FaultModel
 from repro.net.packet import Packet
 from repro.net.partition import PartitionController
+from repro.obs import MetricsRegistry
 from repro.sim.rand import derive_seed
 from repro.sim.scheduler import Scheduler
 
 DeliveryCallback = Callable[[Packet], None]
 
 
-@dataclass
 class NetworkStats:
-    """Counters a network maintains; read by benchmarks and tests."""
+    """Counters a network maintains; read by benchmarks and tests.
 
-    packets_sent: int = 0
-    packets_delivered: int = 0
-    packets_lost: int = 0
-    packets_garbled: int = 0
-    packets_duplicated: int = 0
-    packets_partitioned: int = 0
-    packets_to_dead: int = 0
-    bytes_sent: int = 0
-    bytes_delivered: int = 0
-    per_node_sent: Dict[str, int] = field(default_factory=dict)
+    The counters live in a :class:`~repro.obs.MetricsRegistry` as
+    ``net_*_total{component=...}`` series; this class is a *view* over
+    them.  The historical attribute names (``stats.packets_sent`` etc.)
+    are read/write properties over the registry series, so every
+    existing consumer keeps working while exporters and ``obs-report``
+    see the same numbers under their metric names.
+    """
+
+    #: attribute name -> (metric family name, help text)
+    _counter_specs: Dict[str, Any] = {
+        "packets_sent": ("net_packets_sent_total",
+                         "Packets handed to the medium"),
+        "packets_delivered": ("net_packets_delivered_total",
+                              "Packets handed to an attached endpoint"),
+        "packets_lost": ("net_packets_lost_total",
+                         "Packets dropped by the fault model or unclaimed"),
+        "packets_garbled": ("net_packets_garbled_total",
+                            "Packets delivered with corrupted payloads"),
+        "packets_duplicated": ("net_packets_duplicated_total",
+                               "Packets the fault model duplicated"),
+        "packets_partitioned": ("net_packets_partitioned_total",
+                                "Packets dropped at a partition boundary"),
+        "packets_to_dead": ("net_packets_to_dead_total",
+                            "Packets addressed to a crashed node"),
+        "bytes_sent": ("net_bytes_sent_total",
+                       "Payload bytes handed to the medium"),
+        "bytes_delivered": ("net_bytes_delivered_total",
+                            "Payload bytes handed to attached endpoints"),
+    }
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        component: str = "net",
+    ) -> None:
+        self._registry: Optional[MetricsRegistry] = None
+        self._component = component
+        self._counters: Dict[str, Any] = {}
+        self._node_counter: Any = None
+        self.rebind(registry if registry is not None else MetricsRegistry())
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry currently backing these counters."""
+        assert self._registry is not None
+        return self._registry
+
+    @property
+    def component(self) -> str:
+        """The ``component`` label value of every series of this view."""
+        return self._component
+
+    def rebind(
+        self,
+        registry: MetricsRegistry,
+        component: Optional[str] = None,
+    ) -> None:
+        """Re-home the counters onto ``registry``, carrying their values.
+
+        Used by worlds handed a pre-built network instance: the network
+        starts on a private registry and is rebound onto the world's
+        shared one, so a single snapshot covers everything.
+        """
+        saved = self.as_dict() if self._registry is not None else None
+        if component is not None:
+            self._component = component
+        self._registry = registry
+        self._bind(registry)
+        if saved is not None:
+            self._restore(saved)
+
+    def _bind(self, registry: MetricsRegistry) -> None:
+        """(Re)create the per-series handles; subclasses extend."""
+        self._counters = {
+            attr: registry.counter(metric, help_text, labels=("component",))
+            .labels(component=self._component)
+            for attr, (metric, help_text) in self._counter_specs.items()
+        }
+        self._node_counter = registry.counter(
+            "net_node_packets_sent_total",
+            "Packets sent, per originating node",
+            labels=("component", "node"),
+        )
+        # note_send runs once per packet; resolving the per-node child
+        # through labels() each time costs microseconds, so memoize.
+        self._node_children: Dict[str, Any] = {}
+
+    def _restore(self, saved: Dict[str, Any]) -> None:
+        for attr in self._counter_specs:
+            if saved.get(attr):
+                self._counters[attr].value = saved[attr]
+        for node, count in saved.get("per_node_sent", {}).items():
+            self._node_counter.labels(
+                component=self._component, node=node
+            ).value = count
+
+    @property
+    def per_node_sent(self) -> Dict[str, int]:
+        """Snapshot of per-node packet counts (historical dict shape)."""
+        out: Dict[str, int] = {}
+        for series in self._node_counter.series():
+            if series.labels.get("component") != self._component:
+                continue
+            if series.value:
+                out[series.labels["node"]] = int(series.value)
+        return out
 
     def note_send(self, node: str, size: int) -> None:
         """Account for one transmitted packet."""
-        self.packets_sent += 1
-        self.bytes_sent += size
-        self.per_node_sent[node] = self.per_node_sent.get(node, 0) + 1
+        self._counters["packets_sent"].inc()
+        self._counters["bytes_sent"].inc(size)
+        child = self._node_children.get(node)
+        if child is None:
+            child = self._node_counter.labels(
+                component=self._component, node=str(node)
+            )
+            self._node_children[node] = child
+        child.value += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict snapshot (what ``dataclasses.asdict`` used to give)."""
+        data: Dict[str, Any] = {
+            attr: getattr(self, attr) for attr in self._counter_specs
+        }
+        data["per_node_sent"] = self.per_node_sent
+        return data
+
+    def __repr__(self) -> str:
+        pairs = " ".join(
+            f"{attr}={getattr(self, attr)}"
+            for attr in ("packets_sent", "packets_delivered", "packets_lost")
+        )
+        return f"<{type(self).__name__} {self._component} {pairs}>"
+
+
+def _counter_view(attr: str, doc: str) -> property:
+    def _get(self: NetworkStats) -> int:
+        return int(self._counters[attr].value)
+
+    def _set(self: NetworkStats, value: int) -> None:
+        self._counters[attr].value = int(value)
+
+    return property(_get, _set, doc=doc)
+
+
+for _attr, (_metric, _help) in NetworkStats._counter_specs.items():
+    setattr(NetworkStats, _attr, _counter_view(_attr, _help))
+del _attr, _metric, _help
 
 
 class Network:
@@ -66,6 +197,7 @@ class Network:
         rng: Optional[random.Random] = None,
         mtu: Optional[int] = None,
         name: str = "net",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.scheduler = scheduler
         self.fault_model = fault_model or FaultModel.perfect()
@@ -77,7 +209,9 @@ class Network:
         self.mtu = mtu if mtu is not None else self.default_mtu
         self.name = name
         self.partitions = PartitionController()
-        self.stats = NetworkStats()
+        # Without an explicit registry the stats get a private one; a
+        # world rebinds them onto its shared registry on adoption.
+        self.stats = NetworkStats(metrics, component=name)
         self._endpoints: Dict[EndpointAddress, DeliveryCallback] = {}
         self._dead_nodes: Set[str] = set()
 

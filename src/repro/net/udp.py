@@ -27,6 +27,7 @@ class UdpNetwork(Network):
         rng: Optional[random.Random] = None,
         mtu: Optional[int] = None,
         name: str = "udp",
+        metrics=None,
     ) -> None:
         if fault_model is None:
             fault_model = FaultModel(
@@ -38,5 +39,6 @@ class UdpNetwork(Network):
                 reorder_delay=0.004,
             )
         super().__init__(
-            scheduler, fault_model=fault_model, rng=rng, mtu=mtu, name=name
+            scheduler, fault_model=fault_model, rng=rng, mtu=mtu, name=name,
+            metrics=metrics,
         )

@@ -71,6 +71,7 @@ class WanNetwork(Network):
         rng: Optional[random.Random] = None,
         mtu: Optional[int] = None,
         name: str = "wan",
+        metrics=None,
         **_ignored,
     ) -> None:
         super().__init__(
@@ -79,6 +80,7 @@ class WanNetwork(Network):
             rng=rng,
             mtu=mtu,
             name=name,
+            metrics=metrics,
         )
         self._sites: List[str] = []
         self._links: Dict[Tuple[str, str], Link] = {}

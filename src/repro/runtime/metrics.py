@@ -14,10 +14,10 @@ dependency.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.net.network import NetworkStats
+from repro.net.network import NetworkStats, _counter_view
+from repro.obs import MetricsRegistry, TIME_BUCKETS
 
 
 class LatencyHistogram:
@@ -94,7 +94,6 @@ class LatencyHistogram:
         )
 
 
-@dataclass
 class TransportStats(NetworkStats):
     """:class:`NetworkStats` plus realtime-only accounting.
 
@@ -103,14 +102,45 @@ class TransportStats(NetworkStats):
     Real in-flight OS losses are invisible to the transport (reliability
     layers above recover them); the counters here are what the machine
     actually observed.
+
+    Like the base class this is a registry view; the two transport-only
+    counters appear as ``transport_*_total{component}``, and delivered
+    latencies additionally feed a fixed-bucket
+    ``transport_latency_seconds{component}`` histogram (the exportable
+    complement of the exact-quantile reservoir kept in :attr:`latency`).
     """
 
-    #: Datagrams whose destination node had no configured peer address.
-    packets_unroutable: int = 0
-    #: Datagrams that failed frame decoding (wrong magic, truncated).
-    packets_undecodable: int = 0
-    #: One-way wire latency of delivered datagrams (sender stamp → receipt).
-    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    _counter_specs = dict(NetworkStats._counter_specs)
+    _counter_specs.update({
+        "packets_unroutable": (
+            "transport_packets_unroutable_total",
+            "Datagrams whose destination node had no configured peer",
+        ),
+        "packets_undecodable": (
+            "transport_packets_undecodable_total",
+            "Datagrams that failed frame decoding (wrong magic, truncated)",
+        ),
+    })
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        component: str = "udp-os",
+    ) -> None:
+        #: One-way wire latency of delivered datagrams (sender stamp →
+        #: receipt), reservoir-sampled for exact loopback quantiles.
+        self.latency = LatencyHistogram()
+        self._latency_hist = None
+        super().__init__(registry, component=component)
+
+    def _bind(self, registry: MetricsRegistry) -> None:
+        super()._bind(registry)
+        self._latency_hist = registry.histogram(
+            "transport_latency_seconds",
+            "One-way wire latency of delivered datagrams",
+            labels=("component",),
+            buckets=TIME_BUCKETS,
+        ).labels(component=self.component)
 
     def note_delivery(self, size: int, latency: float) -> None:
         """Account for one datagram handed to an attached endpoint."""
@@ -118,3 +148,17 @@ class TransportStats(NetworkStats):
         self.bytes_delivered += size
         if latency >= 0.0:
             self.latency.observe(latency)
+            self._latency_hist.observe(latency)
+
+    def as_dict(self) -> Dict[str, object]:
+        data = super().as_dict()
+        data["latency"] = self.latency.summary()
+        return data
+
+
+for _attr in ("packets_unroutable", "packets_undecodable"):
+    setattr(
+        TransportStats, _attr,
+        _counter_view(_attr, TransportStats._counter_specs[_attr][1]),
+    )
+del _attr

@@ -110,11 +110,12 @@ class UdpTransport:
         engine: RealtimeEngine,
         mtu: int = DEFAULT_MTU,
         name: str = "udp-os",
+        metrics=None,
     ) -> None:
         self.engine = engine
         self.mtu = mtu
         self.name = name
-        self.stats = TransportStats()
+        self.stats = TransportStats(metrics, component=name)
         #: node name -> (host, port) for every known node, local or remote.
         self.peers: Dict[str, Tuple[str, int]] = {}
         self._socks: Dict[str, asyncio.DatagramTransport] = {}

@@ -41,6 +41,7 @@ from repro.core.process import Process
 from repro.errors import ConfigurationError
 from repro.membership.directory import GroupDirectory
 from repro.net.address import EndpointAddress, GroupAddress
+from repro.obs import MetricsRegistry, ObsOptions, SpanRecorder, write_jsonl
 from repro.runtime.engine import RealtimeEngine
 from repro.runtime.metrics import TransportStats
 from repro.runtime.transport import DEFAULT_MTU, UdpTransport
@@ -59,6 +60,8 @@ class RealtimeWorld:
         registry: Optional[HeaderRegistry] = None,
         mtu: int = DEFAULT_MTU,
         host: str = "127.0.0.1",
+        obs: Optional[ObsOptions] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if wire_mode not in ("aligned", "compact", "packed"):
             raise ConfigurationError(f"unknown wire mode {wire_mode!r}")
@@ -70,7 +73,14 @@ class RealtimeWorld:
         self.directory = GroupDirectory()
         self.registry = registry or DEFAULT_REGISTRY
         self.wire_mode = wire_mode
-        self.network = UdpTransport(self.engine, mtu=mtu)
+        #: Same observability surface as the DES world: one shared
+        #: registry, wall-clock-timestamped spans when enabled.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.obs = obs if obs is not None else ObsOptions()
+        self.spans = SpanRecorder(
+            enabled=self.obs.spans, max_spans=self.obs.max_spans
+        )
+        self.network = UdpTransport(self.engine, mtu=mtu, metrics=self.metrics)
         self._host = host
         self._processes: Dict[str, Process] = {}
 
@@ -155,6 +165,13 @@ class RealtimeWorld:
     def stats(self) -> TransportStats:
         """The transport's counters and latency histogram."""
         return self.network.stats
+
+    def write_metrics(self, path: str, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Write this world's observability snapshot as JSONL to ``path``."""
+        merged = {"substrate": "realtime", "now": self.now}
+        if meta:
+            merged.update(meta)
+        write_jsonl(path, self.metrics, self.spans, meta=merged)
 
     def close(self) -> None:
         """Close sockets and the event loop.  Idempotent."""

@@ -1,0 +1,397 @@
+"""The unified observability plane: registry, spans, exporters, report.
+
+Covers the instrumentation API itself (metric families, label handling,
+histogram math), the single HCPI seam that feeds it (one hook in
+``Layer.down``/``up`` observing every layer at once), and both export
+formats.  Substrate coverage: DES worlds here, wall-clock span
+monotonicity under ``@pytest.mark.realtime``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import ObsOptions, StackConfig, World
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    parse_prometheus,
+    read_jsonl,
+    render_jsonl,
+    render_layer_report,
+    render_network_report,
+    render_prometheus,
+)
+
+FULL_STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+
+def run_observed_world(obs=None, dispatch="direct", casts=10):
+    world = World(seed=11, network="lan", obs=obs)
+    config = StackConfig(spec=FULL_STACK, dispatch=dispatch)
+    handles = {}
+    for name in ("a", "b"):
+        handles[name] = world.process(name).endpoint().join("g", stack=config)
+        world.run(0.5)
+    world.run(2.0)
+    for i in range(casts):
+        handles["a"].cast(b"payload-%d" % i)
+    world.run(3.0)
+    return world, handles
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_inc_and_value(self):
+        reg = MetricsRegistry()
+        family = reg.counter("requests_total", "requests")
+        family.inc()
+        family.inc(4)
+        assert family.value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        family = reg.counter("x_total", "x")
+        with pytest.raises(ConfigurationError):
+            family.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth", "queue depth")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc(1)
+        assert gauge.value == 8
+
+    def test_labeled_series_are_independent(self):
+        reg = MetricsRegistry()
+        family = reg.counter("hits_total", "hits", labels=("layer",))
+        family.labels(layer="NAK").inc(2)
+        family.labels(layer="COM").inc(5)
+        assert family.labels(layer="NAK").value == 2
+        assert family.labels(layer="COM").value == 5
+
+    def test_label_set_must_match_declaration(self):
+        reg = MetricsRegistry()
+        family = reg.counter("hits_total", "hits", labels=("layer",))
+        with pytest.raises(ConfigurationError):
+            family.labels(node="a")
+        with pytest.raises(ConfigurationError):
+            family.labels(layer="NAK", node="a")
+
+    def test_redeclaration_is_idempotent_but_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        first = reg.counter("x_total", "x")
+        again = reg.counter("x_total", "x")
+        assert first is again
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x_total", "x")
+
+    def test_histogram_counts_sum_percentile(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        values = hist._default().values()
+        assert values["count"] == 5
+        assert values["sum"] == pytest.approx(56.05)
+        assert values["max"] == 50.0
+        # The 50.0 sample lands in the overflow bucket.
+        assert values["buckets"][-1][1] == 4
+        assert hist._default().percentile(0) <= hist._default().percentile(100)
+
+    def test_snapshot_is_sorted_and_json_able(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", "b").inc()
+        reg.counter("a_total", "a").inc(2)
+        snap = reg.snapshot()
+        names = [record["name"] for record in snap]
+        assert names == sorted(names)
+        json.dumps(snap)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+
+class TestExporters:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("net_packets_sent_total", "sent",
+                    labels=("component",)).labels(component="lan").inc(7)
+        hist = reg.histogram("lat_seconds", "latency", buckets=(0.001, 0.1))
+        hist.observe(0.0005)
+        hist.observe(0.05)
+        hist.observe(5.0)
+        return reg
+
+    def test_jsonl_roundtrip(self):
+        reg = self.make_registry()
+        text = render_jsonl(reg, meta={"seed": 1})
+        snapshot = read_jsonl(io.StringIO(text))
+        assert snapshot["meta"] == {"seed": 1}
+        by_name = {
+            (record["name"], tuple(sorted(record["labels"].items()))): record
+            for record in snapshot["metrics"]
+        }
+        sent = by_name[("net_packets_sent_total", (("component", "lan"),))]
+        assert sent["value"] == 7
+        lat = by_name[("lat_seconds", ())]
+        assert lat["count"] == 3
+
+    def test_jsonl_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            read_jsonl(io.StringIO("not json\n"))
+        with pytest.raises(ConfigurationError):
+            read_jsonl(io.StringIO('{"kind":"mystery"}\n'))
+
+    def test_prometheus_roundtrip(self):
+        reg = self.make_registry()
+        parsed = parse_prometheus(render_prometheus(reg))
+        assert parsed["net_packets_sent_total"][(("component", "lan"),)] == 7
+        assert parsed["lat_seconds_count"][()] == 3
+        assert parsed["lat_seconds_sum"][()] == pytest.approx(5.0505)
+        buckets = parsed["lat_seconds_bucket"]
+        # Cumulative: le=0.001 has 1, le=0.1 has 2, +Inf has all 3.
+        assert buckets[(("le", "0.001"),)] == 1
+        assert buckets[(("le", "0.1"),)] == 2
+        assert buckets[(("le", "+Inf"),)] == 3
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", "odd", labels=("tag",)).labels(
+            tag='a"b\\c\nd'
+        ).inc()
+        parsed = parse_prometheus(render_prometheus(reg))
+        assert parsed["odd_total"][(("tag", 'a"b\\c\nd'),)] == 1
+
+
+# ----------------------------------------------------------------------
+# The HCPI seam
+# ----------------------------------------------------------------------
+
+
+class TestLayerSeam:
+    def test_off_by_default(self):
+        world, _ = run_observed_world(obs=None)
+        names = [family.name for family in world.metrics.families()]
+        assert not any(name.startswith("stack_") for name in names)
+        assert len(world.spans) == 0
+        # Network counters are registry-backed regardless.
+        assert any(name.startswith("net_") for name in names)
+
+    def test_layer_metrics_cover_every_layer_both_directions(self):
+        world, handles = run_observed_world(obs=ObsOptions.full())
+        events = world.metrics.get("stack_layer_events_total")
+        seen = {
+            (series.labels["layer"], series.labels["direction"])
+            for series in events.series()
+        }
+        for layer in ("TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"):
+            assert (layer, "down") in seen
+            assert (layer, "up") in seen
+
+    def test_event_counts_match_layer_counters(self):
+        world, handles = run_observed_world(obs=ObsOptions.full())
+        events = world.metrics.get("stack_layer_events_total")
+        by_key = {
+            (series.labels["layer"], series.labels["direction"]): series.value
+            for series in events.series()
+        }
+        for handle in handles.values():
+            for layer in handle.stack.layers:
+                # Two stacks share each (layer, direction) series.
+                assert layer.counters["down"] <= by_key[(layer.name, "down")]
+                assert layer.counters["up"] <= by_key[(layer.name, "up")]
+        total_down = sum(
+            h.stack.layers[0].counters["down"] +
+            sum(l.counters["down"] for l in h.stack.layers[1:])
+            for h in handles.values()
+        )
+        assert total_down == sum(
+            value for (layer, direction), value in by_key.items()
+            if direction == "down"
+        )
+
+    def test_spans_record_nested_traversals(self):
+        world, handles = run_observed_world(obs=ObsOptions.full(), casts=3)
+        spans = world.spans.spans()
+        assert spans
+        down_casts = [
+            span for span in spans
+            if span.direction == "down" and span.kind == "CAST"
+            and len(span.events) >= 5
+        ]
+        assert down_casts
+        span = down_casts[0]
+        layers = [event.layer for event in span.events]
+        assert layers[:5] == ["TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"]
+        # Nesting: every event fits inside the span, self-times sum to
+        # no more than the full traversal.
+        for event in span.events:
+            assert span.started <= event.enter <= event.exit <= span.finished
+        assert sum(e.self_time for e in span.events) <= (
+            span.duration + 1e-9
+        )
+
+    def test_span_header_depths_grow_downward(self):
+        world, _ = run_observed_world(obs=ObsOptions.full(), casts=3)
+        span = next(
+            s for s in world.spans.spans()
+            if s.direction == "down" and s.kind == "CAST" and len(s.events) >= 5
+        )
+        com = next(e for e in span.events if e.layer == "COM")
+        assert com.depth_in >= span.events[0].depth_in
+
+    def test_header_bytes_counted_both_ways(self):
+        world, _ = run_observed_world(obs=ObsOptions.full(), casts=10)
+        hdr = world.metrics.get("stack_header_bytes_total")
+        pushed = sum(
+            s.value for s in hdr.series() if s.labels["direction"] == "down"
+        )
+        popped = sum(
+            s.value for s in hdr.series() if s.labels["direction"] == "up"
+        )
+        assert pushed > 0
+        assert popped > 0
+
+    def test_queued_dispatch_feeds_residency_histogram(self):
+        world, handles = run_observed_world(
+            obs=ObsOptions.full(), dispatch="queued"
+        )
+        family = world.metrics.get("stack_queue_residency_seconds")
+        assert family._default().count > 0
+        assert len(handles["b"].delivery_log) > 0
+
+    def test_span_recorder_bound_evicts_oldest(self):
+        recorder = SpanRecorder(max_spans=4)
+        from repro.obs import MessageSpan
+
+        for i in range(10):
+            recorder.add(MessageSpan(recorder.new_id(), "e", "g", "CAST",
+                                     "down", float(i)))
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        assert [span.started for span in recorder.spans()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_per_stack_obs_override_beats_world_default(self):
+        world = World(seed=13, network="lan")
+        config = StackConfig(spec="NAK:COM", obs=ObsOptions(layer_metrics=True))
+        world.process("a").endpoint().join("g", stack=config)
+        world.run(1.0)
+        assert world.metrics.get("stack_layer_events_total") is not None
+
+
+# ----------------------------------------------------------------------
+# Report rendering + CLI
+# ----------------------------------------------------------------------
+
+
+class TestReport:
+    def snapshot(self, tmp_path, obs=ObsOptions.full()):
+        world, _ = run_observed_world(obs=obs)
+        path = str(tmp_path / "snap.jsonl")
+        world.write_metrics(path, meta={"test": "obs"})
+        return path
+
+    def test_layer_report_contains_every_layer(self, tmp_path):
+        snapshot = read_jsonl(self.snapshot(tmp_path))
+        report = render_layer_report(snapshot)
+        for layer in ("TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"):
+            assert layer in report
+        assert "TOTAL (all layers)" in report
+        assert "test=obs" in report
+
+    def test_layer_report_without_instrumentation_is_explicit(self, tmp_path):
+        snapshot = read_jsonl(self.snapshot(tmp_path, obs=None))
+        with pytest.raises(ConfigurationError) as exc:
+            render_layer_report(snapshot)
+        assert "layer_metrics" in str(exc.value)
+
+    def test_network_report_lists_components(self, tmp_path):
+        snapshot = read_jsonl(self.snapshot(tmp_path, obs=None))
+        report = render_network_report(snapshot)
+        assert "net_packets_sent_total" in report
+        assert "component=lan" in report
+
+    def test_cli_obs_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = self.snapshot(tmp_path)
+        assert main(["obs-report", path, "--network"]) == 0
+        out = capsys.readouterr().out
+        assert "NAK" in out
+        assert "net_packets_sent_total" in out
+
+    def test_cli_obs_report_missing_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["obs-report", str(tmp_path / "nope.jsonl")]) == 2
+
+
+# ----------------------------------------------------------------------
+# Stats views
+# ----------------------------------------------------------------------
+
+
+class TestStatsViews:
+    def test_network_stats_attributes_read_through_registry(self):
+        world, _ = run_observed_world()
+        stats = world.network.stats
+        sent_attr = stats.packets_sent
+        sent_metric = (
+            world.metrics.get("net_packets_sent_total")
+            .labels(component="lan").value
+        )
+        assert sent_attr == sent_metric > 0
+        assert stats.per_node_sent.get("a", 0) > 0
+        assert stats.as_dict()["packets_sent"] == sent_attr
+
+    def test_rebind_carries_values(self):
+        from repro.net.network import Network
+        from repro.sim.scheduler import Scheduler
+        from repro.net.address import EndpointAddress
+
+        sched = Scheduler()
+        net = Network(sched)
+        a, b = EndpointAddress("a", 0), EndpointAddress("b", 0)
+        net.attach(a, lambda p: None)
+        net.attach(b, lambda p: None)
+        net.unicast(a, b, b"hello")
+        sched.run_until_idle()
+        before = net.stats.as_dict()
+        assert before["packets_sent"] == 1
+
+        shared = MetricsRegistry()
+        net.stats.rebind(shared)
+        assert net.stats.as_dict() == before
+        assert (
+            shared.get("net_packets_sent_total")
+            .labels(component="net").value == 1
+        )
+        # New traffic lands in the new registry.
+        net.unicast(a, b, b"again")
+        sched.run_until_idle()
+        assert net.stats.packets_sent == 2
+
+    def test_world_adopts_prebuilt_network_counters(self):
+        from repro.net.lan import LanNetwork
+        from repro.sim.scheduler import Scheduler
+
+        # A pre-built network starts on a private registry ...
+        world = World(seed=21, network="lan")
+        assert isinstance(world.network, LanNetwork)
+        # ... and a world built around an instance rebinds it.
+        sched_world = World(seed=22)
+        net = LanNetwork(sched_world.scheduler)
+        adopted = World(seed=22, network=net)
+        assert net.stats.registry is adopted.metrics

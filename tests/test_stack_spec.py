@@ -3,12 +3,14 @@
 import pytest
 
 from repro.core.stack import (
+    StackConfig,
+    build_stack,
     format_stack_spec,
     known_layers,
     layer_class,
     parse_stack_spec,
 )
-from repro.errors import StackError
+from repro.errors import EndpointError, StackError
 
 
 class TestSpecParsing:
@@ -69,3 +71,101 @@ class TestRegistry:
 
     def test_layer_class_lookup(self):
         assert layer_class("COM").name == "COM"
+
+
+class TestStackConfig:
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            StackConfig("NAK:COM")  # positional spec is the old API
+
+    def test_bad_spec_fails_at_construction(self):
+        with pytest.raises(StackError):
+            StackConfig(spec="NAK::COM")
+
+    def test_bad_dispatch_rejected(self):
+        with pytest.raises(StackError):
+            StackConfig(spec="COM", dispatch="warp")
+
+    def test_overrides_merge_over_inline_kwargs(self):
+        config = StackConfig(
+            spec="FRAG(max_size=512):COM",
+            overrides={"FRAG": {"max_size": 128}},
+        )
+        from repro import World
+
+        world = World(seed=3)
+        handle = world.process("a").endpoint().join("g", stack=config)
+        assert handle.focus("FRAG").config["max_size"] == 128
+
+    def test_one_config_builds_many_stacks(self):
+        from repro import World
+
+        config = StackConfig(spec="MBRSHIP:FRAG:NAK:COM")
+        world = World(seed=4)
+        ha = world.process("a").endpoint().join("g", stack=config)
+        hb = world.process("b").endpoint().join("g", stack=config)
+        assert ha.stack is not hb.stack
+        assert ha.stack.spec() == hb.stack.spec() == "MBRSHIP:FRAG:NAK:COM"
+
+    def test_join_rejects_config_plus_loose_kwargs(self):
+        from repro import World
+
+        config = StackConfig(spec="COM", dispatch="queued")
+        world = World(seed=5)
+        endpoint = world.process("a").endpoint()
+        with pytest.raises(EndpointError):
+            endpoint.join("g", stack=config, overrides={"COM": {}})
+
+    def test_build_stack_shim_warns_but_works(self):
+        from repro import World
+        from repro.core.layer import LayerContext
+        from repro.net.address import EndpointAddress, GroupAddress
+
+        world = World(seed=6)
+        context = LayerContext(
+            scheduler=world.scheduler,
+            network=world.network,
+            endpoint=EndpointAddress("a", 0),
+            group=GroupAddress("g"),
+            rng=world.rng.stream("test"),
+            trace=world.trace,
+        )
+        with pytest.warns(DeprecationWarning):
+            stack = build_stack("NAK:COM", context, lambda upcall: None)
+        assert stack.spec() == "NAK:COM"
+
+
+class TestFocus:
+    def _stack(self, spec):
+        from repro import World
+
+        world = World(seed=7)
+        return world.process("a").endpoint().join("g", stack=spec)
+
+    def test_focus_unique_layer(self):
+        handle = self._stack("MBRSHIP:FRAG:NAK:COM")
+        assert handle.focus("FRAG").name == "FRAG"
+
+    def test_focus_missing_layer_raises(self):
+        handle = self._stack("NAK:COM")
+        with pytest.raises(StackError):
+            handle.focus("TOTAL")
+
+    def test_focus_ambiguous_raises_without_topmost(self):
+        handle = self._stack("LOGGER:FRAG:LOGGER:COM")
+        with pytest.raises(StackError) as exc:
+            handle.focus("LOGGER")
+        assert "ambiguous" in str(exc.value)
+
+    def test_focus_topmost_picks_upper_instance(self):
+        handle = self._stack("LOGGER:FRAG:LOGGER:COM")
+        layer = handle.focus("LOGGER", topmost=True)
+        assert layer is handle.stack.layers[0]
+
+    def test_focus_all_returns_every_instance_top_first(self):
+        handle = self._stack("LOGGER:FRAG:LOGGER:COM")
+        instances = handle.focus_all("LOGGER")
+        assert len(instances) == 2
+        assert instances[0] is handle.stack.layers[0]
+        assert instances[1] is handle.stack.layers[2]
+        assert handle.focus_all("TOTAL") == []
