@@ -23,6 +23,9 @@ deterministic discrete-event simulation:
   Section 9 partition policies.
 * :mod:`repro.verify` — executable specifications (the reference-
   implementation methodology of Section 8).
+* :mod:`repro.chaos` — declarative, seed-deterministic failure
+  scenarios over the unified :class:`FaultPlane`, verified against the
+  executable specs and shrinkable to minimal repros.
 * :mod:`repro.toolkit` — the Isis-like tools of Section 1: replicated
   state machines and data, locks, primary-backup, load balancing, and
   guaranteed execution.
@@ -73,6 +76,12 @@ _LAZY_EXPORTS = {
     "RealtimeEngine": "repro.runtime.engine",
     "RealtimeWorld": "repro.runtime.world",
     "UdpTransport": "repro.runtime.transport",
+    # Chaos engine: same treatment — most users never soak.
+    "FaultPlane": "repro.chaos",
+    "Scenario": "repro.chaos",
+    "ScenarioRunner": "repro.chaos",
+    "generate_scenario": "repro.chaos",
+    "shrink_scenario": "repro.chaos",
 }
 
 
@@ -95,6 +104,7 @@ __all__ = [
     "Endpoint",
     "EndpointAddress",
     "FaultModel",
+    "FaultPlane",
     "GroupAddress",
     "GroupHandle",
     "Layer",
@@ -105,6 +115,8 @@ __all__ = [
     "Process",
     "RealtimeEngine",
     "RealtimeWorld",
+    "Scenario",
+    "ScenarioRunner",
     "SpanRecorder",
     "Stack",
     "StackConfig",
@@ -116,6 +128,8 @@ __all__ = [
     "World",
     "__version__",
     "build_stack",
+    "generate_scenario",
     "known_layers",
     "parse_stack_spec",
+    "shrink_scenario",
 ]

@@ -10,6 +10,9 @@ Commands:
 * ``obs-report snapshot.jsonl`` — render the per-layer latency/byte
   table (and optionally network counters) from a metrics snapshot
   written by ``World.write_metrics`` or a benchmark's ``--metrics-out``.
+* ``chaos --seed 0 --scenarios 25 --substrate sim`` — run a seeded
+  soak of generated failure scenarios through the verify checkers;
+  failing scenarios are greedily shrunk to minimal repro timelines.
 """
 
 from __future__ import annotations
@@ -128,6 +131,90 @@ def _cmd_obs_report(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import hashlib
+    import json
+
+    from repro.chaos import (
+        DEFAULT_CHECKS,
+        ScenarioRunner,
+        generate_scenario,
+        load_scenarios,
+        shrink_scenario,
+    )
+
+    checks = tuple(DEFAULT_CHECKS) + (("total",) if args.check_total else ())
+    runner = ScenarioRunner(
+        substrate=args.substrate, seed=args.seed, checks=checks
+    )
+    if args.scenario_file:
+        scenarios = load_scenarios(args.scenario_file)
+    else:
+        scenarios = [
+            generate_scenario(
+                args.seed, index, nodes=args.nodes, stack=args.stack,
+                profile=args.substrate if args.substrate in ("sim", "realtime")
+                else "sim",
+            )
+            for index in range(args.scenarios)
+        ]
+    if args.only is not None:
+        scenarios = [scenarios[args.only]]
+
+    results = []
+    failures = []
+    for scenario in scenarios:
+        result = runner.run(scenario)
+        results.append(result)
+        verdict = "ok" if result.ok else "FAIL"
+        print(
+            f"[{verdict}] {scenario.name} sig={scenario.signature()} "
+            f"ops={len(scenario.ops)} casts={result.casts_sent} "
+            f"converged={result.converged} digest={result.digest[:12]}"
+        )
+        if not result.ok:
+            failures.append(result)
+            for violation in result.violations:
+                print(f"  violation: {violation}")
+            print("  " + result.repro_hint().replace("\n", "\n  "))
+            if args.shrink:
+                target = scenario
+
+                def still_fails(candidate):
+                    return not runner.run(candidate).ok
+
+                try:
+                    shrink = shrink_scenario(target, still_fails)
+                except ValueError as exc:  # flaky only on realtime
+                    print(f"  shrink aborted: {exc}")
+                else:
+                    print(f"  {shrink.summary()}; minimal repro:")
+                    for line in shrink.minimal.describe().splitlines():
+                        print(f"    {line}")
+
+    soak_digest = hashlib.sha256(
+        "".join(r.digest for r in results).encode()
+    ).hexdigest()[:16]
+    print(
+        f"soak: {len(results)} scenarios, {len(failures)} failed, "
+        f"seed={args.seed} substrate={args.substrate} digest={soak_digest}"
+    )
+    if args.report:
+        payload = {
+            "seed": args.seed,
+            "substrate": args.substrate,
+            "checks": list(checks),
+            "soak_digest": soak_digest,
+            "failed": len(failures),
+            "scenarios": [r.summary() for r in results],
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    return 1 if failures else 0
+
+
 def main(argv: List[str] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -153,6 +240,35 @@ def main(argv: List[str] = None) -> int:
                         help="also list network/transport counters")
     report.add_argument("--network-only", action="store_true",
                         help="only the network/transport counters")
+    chaos = sub.add_parser(
+        "chaos", help="seeded failure-scenario soak through repro.verify"
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed; same seed reproduces the soak")
+    chaos.add_argument("--scenarios", type=int, default=25,
+                       help="how many scenarios to generate")
+    chaos.add_argument("--substrate", default="sim",
+                       choices=["sim", "realtime"])
+    chaos.add_argument("--nodes", type=int, default=4,
+                       help="group size per scenario")
+    chaos.add_argument("--stack", default="MBRSHIP:FRAG:NAK:CHKSUM:COM",
+                       help="protocol stack under test")
+    chaos.add_argument("--check-total", action="store_true",
+                       help="also demand total order (fails on stacks "
+                            "without a TOTAL layer — useful for shrink "
+                            "demos)")
+    chaos.add_argument("--scenario-file", default=None,
+                       help="run scenarios from a JSON file (a scenario, "
+                            "a list, or a chaos report) instead of "
+                            "generating them")
+    chaos.add_argument("--only", type=int, default=None, metavar="INDEX",
+                       help="run just one scenario of the soak")
+    chaos.add_argument("--shrink", action="store_true",
+                       help="greedily shrink failing scenarios to "
+                            "minimal repro timelines")
+    chaos.add_argument("--report", default=None, metavar="PATH",
+                       help="write a JSON soak report (always written, "
+                            "pass or fail)")
     args = parser.parse_args(argv)
     handlers = {
         "tables": _cmd_tables,
@@ -160,6 +276,7 @@ def main(argv: List[str] = None) -> int:
         "synthesize": _cmd_synthesize,
         "demo": _cmd_demo,
         "obs-report": _cmd_obs_report,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

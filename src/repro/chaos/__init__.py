@@ -1,0 +1,61 @@
+"""repro.chaos — declarative, replayable failure scenarios.
+
+The chaos engine turns "does the stack survive realistic failure
+storms?" into a seeded, shrinkable, CI-runnable question:
+
+* :class:`~repro.chaos.faultplane.FaultPlane` — the one fault-injection
+  vocabulary (crash / recover / partition / heal / set_faults) both
+  substrates implement;
+* :class:`~repro.chaos.scenario.Scenario` — a frozen, JSON-round-trip
+  timeline of fault and load ops;
+* :class:`~repro.chaos.runner.ScenarioRunner` — executes a scenario on
+  the DES or the realtime substrate, then replays the run through the
+  :mod:`repro.verify` checkers;
+* :func:`~repro.chaos.generator.generate_scenario` — seeded random
+  storms the stack is supposed to survive;
+* :func:`~repro.chaos.shrink.shrink_scenario` — greedy timeline
+  minimization of a failing scenario.
+
+CLI: ``python -m repro chaos --seed 0 --scenarios 25 --substrate sim``.
+"""
+
+from repro.chaos.faultplane import FaultPlane
+from repro.chaos.generator import generate_scenario
+from repro.chaos.runner import DEFAULT_CHECKS, ScenarioResult, ScenarioRunner
+from repro.chaos.scenario import (
+    DEFAULT_CHAOS_STACK,
+    ChaosOp,
+    Crash,
+    Heal,
+    InjectLoad,
+    Partition,
+    Recover,
+    Scenario,
+    SetFaults,
+    load_scenarios,
+    op_from_dict,
+    scenario_from_dict,
+)
+from repro.chaos.shrink import ShrinkReport, shrink_scenario
+
+__all__ = [
+    "DEFAULT_CHAOS_STACK",
+    "DEFAULT_CHECKS",
+    "ChaosOp",
+    "Crash",
+    "FaultPlane",
+    "Heal",
+    "InjectLoad",
+    "Partition",
+    "Recover",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SetFaults",
+    "ShrinkReport",
+    "generate_scenario",
+    "load_scenarios",
+    "op_from_dict",
+    "scenario_from_dict",
+    "shrink_scenario",
+]

@@ -1,0 +1,135 @@
+"""Seeded random scenario generation.
+
+``generate_scenario(seed, index)`` is a pure function: the op timeline
+comes entirely from ``random.Random(derive_seed(seed, f"chaos.gen.{index}"))``,
+so a soak is fully described by its base seed and scenario count, and
+any scenario from it can be regenerated in isolation.
+
+The generator is constrained, not uniform — it only emits storms the
+stack is *supposed* to survive, so every violation a soak finds is a
+real bug rather than an impossible demand:
+
+* at most a minority of nodes is ever dead at once (primary-partition
+  membership cannot make progress without a majority, and a storm that
+  kills one is a liveness test, not a safety test);
+* ``recover`` only targets currently-crashed nodes, ``heal`` only fires
+  when partitioned, and one partition is never stacked on another;
+* fault models stay mild (loss/duplication/garbling well under the
+  retransmission layers' give-up thresholds);
+* every scenario carries at least one load injection, so the order and
+  virtual-synchrony checkers always have messages to judge.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.chaos.scenario import (
+    DEFAULT_CHAOS_STACK,
+    ChaosOp,
+    Crash,
+    Heal,
+    InjectLoad,
+    Partition,
+    Recover,
+    Scenario,
+    SetFaults,
+)
+
+#: Per-profile pacing: (min duration, max duration, settle, max ops).
+#: The realtime profile is shorter — its seconds are wall-clock.
+_PROFILES = {
+    "sim": (4.0, 8.0, 25.0, 10),
+    "realtime": (2.0, 4.0, 8.0, 6),
+}
+
+#: Mild fault-model palettes (kwargs for FaultModel), chosen to stay
+#: under the NAK/stability layers' recovery capacity.
+_FAULT_PALETTES = (
+    {"loss_rate": 0.05},
+    {"loss_rate": 0.10, "duplicate_rate": 0.05},
+    {"garble_rate": 0.05},
+    {"loss_rate": 0.05, "reorder_rate": 0.2, "reorder_delay": 0.05},
+    {"duplicate_rate": 0.10},
+)
+
+
+def generate_scenario(
+    seed: int,
+    index: int,
+    nodes: int = 4,
+    stack: str = DEFAULT_CHAOS_STACK,
+    profile: str = "sim",
+) -> Scenario:
+    """Deterministically generate scenario ``index`` of a soak."""
+    if profile not in _PROFILES:
+        raise ValueError(f"unknown chaos profile {profile!r}")
+    from repro.sim.rand import derive_seed
+
+    rng = random.Random(derive_seed(seed, f"chaos.gen.{index}"))
+    lo, hi, settle, max_ops = _PROFILES[profile]
+    duration = rng.uniform(lo, hi)
+    names = tuple(f"n{i}" for i in range(nodes))
+
+    ops: List[ChaosOp] = []
+    dead: set = set()
+    partitioned = False
+    max_dead = (nodes - 1) // 2  # keep a primary component possible
+
+    n_ops = rng.randint(3, max_ops)
+    for _ in range(n_ops):
+        at = round(rng.uniform(0.2, duration * 0.8), 2)
+        kind = rng.choice(
+            ("crash", "recover", "partition", "heal", "set_faults",
+             "load", "load")
+        )
+        if kind == "crash" and len(dead) < max_dead:
+            victim = rng.choice([n for n in names if n not in dead])
+            dead.add(victim)
+            ops.append(Crash(at=at, node=victim))
+        elif kind == "recover" and dead:
+            back = rng.choice(sorted(dead))
+            dead.discard(back)
+            ops.append(Recover(at=at, node=back))
+        elif kind == "partition" and not partitioned and nodes >= 3:
+            shuffled = list(names)
+            rng.shuffle(shuffled)
+            # Majority side first so the primary partition keeps going.
+            cut = rng.randint(1, (nodes - 1) // 2)
+            ops.append(Partition(
+                at=at,
+                components=(tuple(sorted(shuffled[cut:])),
+                            tuple(sorted(shuffled[:cut]))),
+            ))
+            partitioned = True
+        elif kind == "heal" and partitioned:
+            ops.append(Heal(at=at))
+            partitioned = False
+        elif kind == "set_faults":
+            palette = rng.choice(_FAULT_PALETTES)
+            ops.append(SetFaults.of(at, **palette))
+        else:
+            # Load from a node that is up at generation time, so every
+            # scenario actually gives the checkers messages to judge.
+            live = [n for n in names if n not in dead] or list(names)
+            ops.append(InjectLoad(
+                at=at,
+                node=rng.choice(live),
+                count=rng.randint(2, 6),
+                size=rng.choice((16, 64, 256)),
+            ))
+
+    if not any(isinstance(op, InjectLoad) for op in ops):
+        ops.append(InjectLoad(
+            at=round(duration * 0.5, 2), node=names[0], count=4, size=64
+        ))
+
+    return Scenario(
+        name=f"s{seed}-{index}",
+        nodes=names,
+        ops=tuple(ops),
+        stack=stack,
+        duration=duration,
+        settle=settle,
+    )

@@ -1,0 +1,78 @@
+"""Greedy timeline shrinking: soak failure → minimal repro.
+
+``shrink_scenario`` takes a failing scenario and a ``still_fails``
+predicate (usually "run it and check the same violation class shows
+up") and repeatedly deletes ops that are not needed for the failure.
+The loop is the classic greedy ddmin core: try dropping each op, keep
+any deletion that still fails, restart until a full pass removes
+nothing.  The result is *1-minimal* — removing any single remaining op
+makes the failure disappear — which is almost always small enough to
+read as a bug report.
+
+Because scenarios are values and the DES is a pure function of
+``(seed, scenario)``, the predicate is deterministic and shrinking
+needs no retry logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.chaos.scenario import Scenario
+
+
+@dataclass
+class ShrinkReport:
+    """What the shrinker did, for logs and violation reports."""
+
+    original: Scenario
+    minimal: Scenario
+    runs: int = 0
+    #: describe() lines of the ops that were removed.
+    removed: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"shrunk {len(self.original.ops)} ops -> "
+            f"{len(self.minimal.ops)} in {self.runs} runs"
+        )
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+    max_runs: int = 200,
+) -> ShrinkReport:
+    """Greedily minimize ``scenario`` while ``still_fails`` holds.
+
+    Raises :class:`ValueError` if the input scenario does not fail —
+    shrinking a passing scenario would "converge" to an empty timeline
+    and report nonsense.
+    """
+    report = ShrinkReport(original=scenario, minimal=scenario)
+    report.runs += 1
+    if not still_fails(scenario):
+        raise ValueError(
+            f"scenario {scenario.name} does not fail; nothing to shrink"
+        )
+
+    current = scenario
+    progress = True
+    while progress and report.runs < max_runs:
+        progress = False
+        # Later ops first: load and cleanup ops tend to be removable,
+        # and dropping from the tail keeps earlier indices stable.
+        for index in reversed(range(len(current.ops))):
+            candidate_ops = current.ops[:index] + current.ops[index + 1:]
+            candidate = current.with_ops(candidate_ops)
+            report.runs += 1
+            if still_fails(candidate):
+                report.removed.append(current.ops[index].describe())
+                current = candidate
+                progress = True
+            if report.runs >= max_runs:
+                break
+
+    report.minimal = current
+    return report

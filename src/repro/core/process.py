@@ -12,6 +12,7 @@ entry point applications and tests use.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from repro.core.endpoint import Endpoint
@@ -20,6 +21,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.membership.directory import GroupDirectory
 from repro.net.address import EndpointAddress
 from repro.net.atm import AtmNetwork
+from repro.net.faults import FaultModel
 from repro.net.lan import LanNetwork
 from repro.net.network import Network
 from repro.net.udp import UdpNetwork
@@ -125,20 +127,60 @@ class Process:
         return list(self._endpoints)
 
     def crash(self) -> None:
-        """Fail-stop: no more sends, receives, timers, or events.  Ever.
+        """Deprecated: use ``world.crash(name)`` (the FaultPlane API)."""
+        warnings.warn(
+            "Process.crash is deprecated; use World.crash(name) / "
+            "RealtimeWorld.crash(name) (the repro.chaos.FaultPlane API)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.world.crash(self.name)
+
+    def _fail_stop(self) -> None:
+        """Fail-stop: no more sends, receives, timers, or events.
 
         The rest of the system only finds out through silence — this is
         what the failure detectors and the flush protocol exist for.
+        Called by the world's FaultPlane ``crash`` op; idempotent.
         """
         if not self.alive:
             return
         self.alive = False
-        self.world.network.crash_node(self.name)
+        self.world.network.crash(self.name)
         for endpoint in self._endpoints:
             for stack in endpoint._stacks.values():
                 stack.stop()
         self.world.trace.record(
             self.world.scheduler.now, "crash", self.name
+        )
+
+    def _restart(self) -> None:
+        """Recover from a crash with a blank slate (FaultPlane ``recover``).
+
+        Everything the process held before the crash is gone for good:
+        old endpoints are destroyed, detached from the network, and
+        scrubbed from the directory, so nothing can silently resume.
+        The recovered process must create fresh endpoints and re-join
+        its groups through the ordinary MBRSHIP join/merge path —
+        exactly what a rebooted machine would do.  Idempotent.
+        """
+        if self.alive:
+            return
+        network = self.world.network
+        directory = getattr(self.world, "directory", None)
+        for endpoint in self._endpoints:
+            if endpoint.destroyed:
+                continue
+            endpoint.destroyed = True
+            if network.attached(endpoint.address):
+                network.detach(endpoint.address)
+            if directory is not None:
+                for group_addr in endpoint._groups:
+                    directory.unregister(group_addr, endpoint.address)
+        self.alive = True
+        network.recover(self.name)
+        self.world.trace.record(
+            self.world.scheduler.now, "recover", self.name
         )
 
     def __repr__(self) -> str:
@@ -236,22 +278,61 @@ class World:
         """Snapshot of all processes by name."""
         return dict(self._processes)
 
-    # -- fault injection ---------------------------------------------------
+    # -- fault plane (the repro.chaos.FaultPlane protocol) -----------------
 
     def crash(self, name: str) -> None:
         """Crash the named process fail-stop."""
-        self.process(name).crash()
+        self.process(name)._fail_stop()
+        self._note_fault_op("crash")
+
+    def recover(self, name: str) -> Process:
+        """Recover a crashed process with a blank slate.
+
+        The process comes back with no endpoints and no group state —
+        it must create fresh endpoints and re-join through the MBRSHIP
+        join/merge path, never resume silently.  Returns the process so
+        callers can immediately re-join: ``world.recover("b").endpoint()
+        .join(...)``.
+        """
+        proc = self.process(name)
+        was_dead = not proc.alive
+        proc._restart()
+        if was_dead:
+            self._note_fault_op("recover")
+        return proc
+
+    def node_alive(self, name: str) -> bool:
+        """Whether the named process is currently up (unknown names are)."""
+        proc = self._processes.get(name)
+        return proc is None or proc.alive
 
     def partition(self, *components: Iterable[str]) -> None:
         """Split the network into node-name components."""
-        self.network.partitions.partition(components)
+        self.network.partition(*components)
         self.trace.record(self.scheduler.now, "partition", "world",
                           components=[sorted(c) for c in components])
+        self._note_fault_op("partition")
 
     def heal(self) -> None:
         """Remove all network partitions."""
-        self.network.partitions.heal()
+        self.network.heal()
         self.trace.record(self.scheduler.now, "heal", "world")
+        self._note_fault_op("heal")
+
+    def set_faults(self, model: Optional[FaultModel]) -> None:
+        """Swap the network's fault model; ``None`` restores a pristine path."""
+        self.network.set_faults(model)
+        self.trace.record(self.scheduler.now, "set_faults", "world",
+                          model=repr(model))
+        self._note_fault_op("set_faults")
+
+    def _note_fault_op(self, op: str) -> None:
+        """Count one fault-plane operation into the world's registry."""
+        self.metrics.counter(
+            "chaos_ops_total",
+            "Fault-plane operations applied to this world",
+            labels=("op",),
+        ).labels(op=op).inc()
 
     # -- running ------------------------------------------------------------
 

@@ -55,9 +55,12 @@ class FaultModel:
 
         Returns a list of ``(delay, payload, garbled)`` tuples — empty if
         the packet is lost, length two if duplicated.  The payload in a
-        garbled delivery has one byte flipped (or is truncated when
-        empty-adjacent), modelling line corruption that a checksum layer
-        must catch.
+        garbled delivery has exactly one byte flipped; garbling never
+        changes the payload length, so a fixed-size frame stays a
+        fixed-size frame.  An empty payload carries no bytes to corrupt
+        and is delivered intact (``garbled=False``) — it used to come
+        back as a fabricated ``b"\\xff"``, which no checksum layer could
+        have vouched for because the original content was never sent.
         """
         if rng.random() < self.loss_rate:
             return []
@@ -72,8 +75,9 @@ class FaultModel:
             data = payload
             garbled = False
             if self.garble_rate > 0 and rng.random() < self.garble_rate:
-                data = _flip_byte(rng, payload)
-                garbled = True
+                if payload:
+                    data = _flip_byte(rng, payload)
+                    garbled = True
             deliveries.append((delay, data, garbled))
         return deliveries
 
@@ -94,9 +98,14 @@ class FaultModel:
 
 
 def _flip_byte(rng: random.Random, payload: bytes) -> bytes:
-    """Return ``payload`` with one byte XOR-flipped (or ``b'\\xff'`` if empty)."""
+    """Return ``payload`` with exactly one byte XOR-flipped (same length).
+
+    Empty payloads come back unchanged — there is nothing to corrupt,
+    and fabricating bytes would change the packet length, which line
+    garbling (as opposed to truncation) never does.
+    """
     if not payload:
-        return b"\xff"
+        return payload
     index = rng.randrange(len(payload))
     flipped = payload[index] ^ 0xFF
     return payload[:index] + bytes([flipped]) + payload[index + 1 :]

@@ -10,6 +10,7 @@ stronger guarantee is the job of a protocol layer.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Any, Callable, Dict, Iterable, Optional, Set
 
 from repro.errors import AddressError, NetworkError, PacketTooLargeError
@@ -239,7 +240,11 @@ class Network:
         """Snapshot of currently attached addresses."""
         return list(self._endpoints)
 
-    def crash_node(self, node: str) -> None:
+    # The network implements the :class:`repro.chaos.FaultPlane`
+    # protocol at the substrate level: nodes are plain string names,
+    # identical to the names the worlds and the realtime transport use.
+
+    def crash(self, node: str) -> None:
         """Fail-stop ``node``: it stops sending and receiving immediately.
 
         In-flight packets addressed to it are dropped on arrival, which
@@ -247,13 +252,50 @@ class Network:
         """
         self._dead_nodes.add(node)
 
-    def revive_node(self, node: str) -> None:
-        """Bring a crashed node back (it must re-join groups itself)."""
+    def recover(self, node: str) -> None:
+        """Bring a crashed node back.
+
+        Recovery at this level only re-opens the pipes; any group state
+        the node held is gone, so its endpoints must re-join (the
+        MBRSHIP join/merge path) — they never resume silently.
+        """
         self._dead_nodes.discard(node)
 
     def node_alive(self, node: str) -> bool:
         """Whether ``node`` is currently up."""
         return node not in self._dead_nodes
+
+    def partition(self, *components: Iterable[str]) -> None:
+        """Split the network into node-name components (FaultPlane op)."""
+        self.partitions.partition(components)
+
+    def heal(self) -> None:
+        """Remove all partitions; full connectivity returns (FaultPlane op)."""
+        self.partitions.heal()
+
+    def set_faults(self, model: Optional[FaultModel]) -> None:
+        """Install ``model`` as the path behaviour; ``None`` = pristine."""
+        self.fault_model = model if model is not None else FaultModel.perfect()
+
+    def crash_node(self, node: str) -> None:
+        """Deprecated alias of :meth:`crash` (pre-FaultPlane name)."""
+        warnings.warn(
+            "Network.crash_node is deprecated; use Network.crash "
+            "(the repro.chaos.FaultPlane API)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.crash(node)
+
+    def revive_node(self, node: str) -> None:
+        """Deprecated alias of :meth:`recover` (pre-FaultPlane name)."""
+        warnings.warn(
+            "Network.revive_node is deprecated; use Network.recover "
+            "(the repro.chaos.FaultPlane API)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.recover(node)
 
     # ------------------------------------------------------------------
     # Transmission

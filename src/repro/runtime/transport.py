@@ -36,15 +36,20 @@ over the real one.
 from __future__ import annotations
 
 import asyncio
+import random
 import struct
 import time
+import warnings
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import AddressError, NetworkError, PacketTooLargeError
 from repro.net.address import EndpointAddress
+from repro.net.faults import FaultModel
 from repro.net.packet import Packet
+from repro.net.partition import PartitionController
 from repro.runtime.engine import RealtimeEngine
 from repro.runtime.metrics import TransportStats
+from repro.sim.rand import derive_seed
 
 DeliveryCallback = Callable[[Packet], None]
 
@@ -111,6 +116,7 @@ class UdpTransport:
         mtu: int = DEFAULT_MTU,
         name: str = "udp-os",
         metrics=None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.engine = engine
         self.mtu = mtu
@@ -118,6 +124,16 @@ class UdpTransport:
         self.stats = TransportStats(metrics, component=name)
         #: node name -> (host, port) for every known node, local or remote.
         self.peers: Dict[str, Tuple[str, int]] = {}
+        #: Emulated reachability oracle (the FaultPlane partition op).
+        #: Checked on both the send and the receive path, so in a
+        #: multi-process deployment installing the same partition on
+        #: every transport cuts the link in both directions.
+        self.partitions = PartitionController()
+        #: Optional software fault injection applied before the socket
+        #: write.  ``None`` (the default) keeps the hot path untouched:
+        #: no rng draw, no extra allocation, straight to ``sendto``.
+        self.fault_model: Optional[FaultModel] = None
+        self.rng = rng or random.Random(derive_seed(0, f"transport.{name}"))
         self._socks: Dict[str, asyncio.DatagramTransport] = {}
         self._endpoints: Dict[EndpointAddress, DeliveryCallback] = {}
         self._dead_nodes: Set[str] = set()
@@ -189,17 +205,68 @@ class UdpTransport:
         """Snapshot of currently attached addresses."""
         return list(self._endpoints)
 
-    def crash_node(self, node: str) -> None:
+    # The transport implements the :class:`repro.chaos.FaultPlane`
+    # protocol with the same node naming as the simulated network, so a
+    # chaos scenario drives either substrate through identical calls.
+
+    def crash(self, node: str) -> None:
         """Fail-stop ``node`` locally: it stops sending and receiving."""
         self._dead_nodes.add(node)
 
-    def revive_node(self, node: str) -> None:
-        """Bring a crashed node back (it must re-join groups itself)."""
+    def recover(self, node: str) -> None:
+        """Bring a crashed node back.
+
+        The socket was never closed, so packets flow again immediately —
+        but any group state died with the crash, and the node's
+        endpoints must re-join (MBRSHIP join/merge), never resume.
+        """
         self._dead_nodes.discard(node)
 
     def node_alive(self, node: str) -> bool:
         """Whether ``node`` is currently up (locally, as far as we know)."""
         return node not in self._dead_nodes
+
+    def partition(self, *components: Iterable[str]) -> None:
+        """Emulate a partition: cut packet flow between components.
+
+        Real UDP keeps flowing underneath; the transport drops frames
+        that would cross a component boundary, on send and on receive.
+        """
+        self.partitions.partition(components)
+
+    def heal(self) -> None:
+        """Remove the emulated partition."""
+        self.partitions.heal()
+
+    def set_faults(self, model: Optional[FaultModel]) -> None:
+        """Install software fault injection; ``None`` restores passthrough.
+
+        With a model installed every send runs through
+        :meth:`FaultModel.plan_deliveries` — loss, duplication,
+        garbling, and extra delay are applied *before* the socket write,
+        on top of whatever the real path already does.
+        """
+        self.fault_model = model
+
+    def crash_node(self, node: str) -> None:
+        """Deprecated alias of :meth:`crash` (pre-FaultPlane name)."""
+        warnings.warn(
+            "UdpTransport.crash_node is deprecated; use UdpTransport.crash "
+            "(the repro.chaos.FaultPlane API)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.crash(node)
+
+    def revive_node(self, node: str) -> None:
+        """Deprecated alias of :meth:`recover` (pre-FaultPlane name)."""
+        warnings.warn(
+            "UdpTransport.revive_node is deprecated; use UdpTransport.recover "
+            "(the repro.chaos.FaultPlane API)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.recover(node)
 
     # ------------------------------------------------------------------
     # Transmission (Network contract)
@@ -220,12 +287,50 @@ class UdpTransport:
         if not self.node_alive(source.node):
             raise NetworkError(f"node {source.node} has crashed and cannot send")
         self.stats.note_send(source.node, len(payload))
+        if not self.partitions.reachable(source.node, dest.node):
+            self.stats.packets_partitioned += 1
+            return
         target = self.peers.get(dest.node)
         if target is None:
             self.stats.packets_unroutable += 1
             return
-        frame = encode_frame(source, dest, payload, time.monotonic())
-        sock.sendto(frame, target)
+        if self.fault_model is None:
+            frame = encode_frame(source, dest, payload, time.monotonic())
+            sock.sendto(frame, target)
+            return
+        deliveries = self.fault_model.plan_deliveries(self.rng, payload)
+        if not deliveries:
+            self.stats.packets_lost += 1
+            return
+        if len(deliveries) > 1:
+            self.stats.packets_duplicated += 1
+        for delay, data, garbled in deliveries:
+            if garbled:
+                # The receive side cannot know a frame was deliberately
+                # garbled (no flag crosses the wire), so unlike the DES
+                # network this counter is kept at the injection point.
+                self.stats.packets_garbled += 1
+            if delay > 0:
+                self.engine.call_after(
+                    delay, self._emit_frame, source, dest, data, target
+                )
+            else:
+                self._emit_frame(source, dest, data, target)
+
+    def _emit_frame(
+        self,
+        source: EndpointAddress,
+        dest: EndpointAddress,
+        payload: bytes,
+        target: Tuple[str, int],
+    ) -> None:
+        """Late socket write for fault-injected (possibly delayed) frames."""
+        if self._closed:
+            return
+        sock = self._socks.get(source.node)
+        if sock is None or sock.is_closing() or not self.node_alive(source.node):
+            return
+        sock.sendto(encode_frame(source, dest, payload, time.monotonic()), target)
 
     def multicast(
         self,
@@ -253,6 +358,9 @@ class UdpTransport:
             return
         if not self.node_alive(dest.node):
             self.stats.packets_to_dead += 1
+            return
+        if not self.partitions.reachable(source.node, dest.node):
+            self.stats.packets_partitioned += 1
             return
         callback = self._endpoints.get(dest)
         if callback is None:

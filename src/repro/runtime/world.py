@@ -133,9 +133,66 @@ class RealtimeWorld:
         for contact in contacts:
             self.directory.register(group_addr, contact)
 
+    # -- fault plane (the repro.chaos.FaultPlane protocol) -----------------
+
     def crash(self, name: str) -> None:
         """Crash the named local process fail-stop."""
-        self.process(name).crash()
+        self.process(name)._fail_stop()
+        self._note_fault_op("crash")
+
+    def recover(self, name: str) -> Process:
+        """Recover a crashed local process with a blank slate.
+
+        Mirrors :meth:`repro.core.process.World.recover`: old endpoints
+        are destroyed and detached; the process must re-join its groups
+        through MBRSHIP join/merge (its UDP socket stayed bound, so the
+        transport needs no rebinding).
+        """
+        proc = self.process(name)
+        was_dead = not proc.alive
+        proc._restart()
+        if was_dead:
+            self._note_fault_op("recover")
+        return proc
+
+    def node_alive(self, name: str) -> bool:
+        """Whether the named local process is currently up."""
+        proc = self._processes.get(name)
+        return proc is None or proc.alive
+
+    def partition(self, *components: Iterable[str]) -> None:
+        """Install an emulated partition on the local transport.
+
+        In a multi-process deployment every world must install the same
+        partition for the cut to be symmetric; single-process tests get
+        both directions from this one call because the transport checks
+        reachability on send and on receive.
+        """
+        self.network.partition(*components)
+        self.trace.record(self.engine.now, "partition", "world",
+                          components=[sorted(c) for c in components])
+        self._note_fault_op("partition")
+
+    def heal(self) -> None:
+        """Remove the emulated partition on the local transport."""
+        self.network.heal()
+        self.trace.record(self.engine.now, "heal", "world")
+        self._note_fault_op("heal")
+
+    def set_faults(self, model) -> None:
+        """Install software fault injection on the local transport."""
+        self.network.set_faults(model)
+        self.trace.record(self.engine.now, "set_faults", "world",
+                          model=repr(model))
+        self._note_fault_op("set_faults")
+
+    def _note_fault_op(self, op: str) -> None:
+        """Count one fault-plane operation into the world's registry."""
+        self.metrics.counter(
+            "chaos_ops_total",
+            "Fault-plane operations applied to this world",
+            labels=("op",),
+        ).labels(op=op).inc()
 
     # -- running ------------------------------------------------------------
 

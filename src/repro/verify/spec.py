@@ -60,7 +60,9 @@ class CrashSilenceSpec(TraceSpec):
     """A crashed node performs no further actions (fail-stop).
 
     World-level ``crash`` records name a node; afterwards no record may
-    be emitted by any actor on that node.
+    be emitted by any actor on that node until a world-level ``recover``
+    record (the FaultPlane's recovery op) brings the node back — the
+    silence window is exactly crash-to-recover.
     """
 
     name = "crash-silence"
@@ -71,6 +73,9 @@ class CrashSilenceSpec(TraceSpec):
     def step(self, record: TraceRecord) -> None:
         if record.category == "crash":
             self._dead.add(record.actor)
+            return
+        if record.category == "recover":
+            self._dead.discard(record.actor)
             return
         node = record.actor.split(":", 1)[0]
         if node in self._dead:

@@ -72,7 +72,7 @@ class TestProcess:
     def test_crashed_process_cannot_make_endpoints(self):
         world = World()
         process = world.process("p")
-        process.crash()
+        world.crash("p")
         from repro.errors import SimulationError
 
         with pytest.raises(SimulationError):
@@ -81,16 +81,24 @@ class TestProcess:
     def test_crash_is_idempotent(self):
         world = World()
         process = world.process("p")
-        process.crash()
-        process.crash()
+        world.crash("p")
+        world.crash("p")
         assert not process.alive
+
+    def test_process_crash_shim_warns_and_delegates(self):
+        world = World()
+        process = world.process("p")
+        with pytest.warns(DeprecationWarning, match="World.crash"):
+            process.crash()
+        assert not process.alive
+        assert not world.network.node_alive("p")
 
     def test_guarded_scheduler_drops_events_after_crash(self):
         world = World()
         process = world.process("p")
         fired = []
         process.guarded_scheduler.call_after(1.0, fired.append, "x")
-        process.crash()
+        world.crash("p")
         world.run(2.0)
         assert fired == []
 

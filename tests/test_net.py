@@ -78,6 +78,90 @@ class TestFaultModel:
         delay, _, _ = model.plan_deliveries(random.Random(0), b"x")[0]
         assert delay >= 0.5
 
+    def test_garbling_never_changes_length(self):
+        """Pin: garbling flips one byte in place for every payload size.
+        (It used to garble b"" into a fabricated b"\\xff".)"""
+        model = FaultModel(garble_rate=1.0)
+        rng = random.Random(3)
+        for size in (0, 1, 2, 64, 9000):
+            payload = b"q" * size
+            _, data, _ = model.plan_deliveries(rng, payload)[0]
+            assert len(data) == size
+
+    def test_empty_payload_never_garbled(self):
+        model = FaultModel(garble_rate=1.0)
+        for seed in range(20):
+            deliveries = model.plan_deliveries(random.Random(seed), b"")
+            for _, data, garbled in deliveries:
+                assert data == b"" and not garbled
+
+    def test_one_byte_payload_garbles_to_different_byte(self):
+        model = FaultModel(garble_rate=1.0)
+        for seed in range(20):
+            _, data, garbled = model.plan_deliveries(random.Random(seed), b"\x00")[0]
+            assert garbled and len(data) == 1 and data != b"\x00"
+
+    def test_garble_draw_keeps_rng_stream_aligned(self):
+        """Pin: an empty payload consumes the same rng draws as a
+        non-empty one, so fault schedules don't shift with payload
+        content."""
+        model = FaultModel(garble_rate=0.5, loss_rate=0.3)
+        fates_empty = [
+            len(model.plan_deliveries(random.Random(seed), b""))
+            for seed in range(50)
+        ]
+        fates_full = [
+            len(model.plan_deliveries(random.Random(seed), b"payload"))
+            for seed in range(50)
+        ]
+        assert fates_empty == fates_full
+
+
+class TestChksumRejectsGarbling:
+    """CHKSUM must catch every garbled variant plan_deliveries emits."""
+
+    def _world(self, garble_rate):
+        from repro import World
+
+        world = World(
+            seed=13,
+            network="udp",
+            fault_model=FaultModel(base_delay=0.002, garble_rate=garble_rate),
+        )
+        a = world.process("a").endpoint()
+        b = world.process("b").endpoint()
+        ha = a.join("g", stack="CHKSUM:COM")
+        hb = b.join("g", stack="CHKSUM:COM")
+        members = [h.endpoint_address for h in (ha, hb)]
+        ha.set_destinations(members)
+        hb.set_destinations(members)
+        return world, ha, hb
+
+    def test_garbled_packets_all_dropped(self):
+        """At 100% garbling nothing may reach the application.  Flips
+        landing in the payload are caught by the CRC; flips landing in
+        a header die in header parsing — either way, never delivered."""
+        world, ha, hb = self._world(garble_rate=1.0)
+        for i in range(10):
+            ha.cast(b"m%d" % i)
+        world.run(2.0)
+        assert hb.delivery_log == []
+        assert hb.focus("CHKSUM").garbled_dropped > 0
+
+    def test_tiny_payloads_survive_or_die_cleanly(self):
+        """1-byte application payloads: garbled copies are rejected,
+        clean copies deliver exactly the sent byte — corruption never
+        reaches the application."""
+        world, ha, hb = self._world(garble_rate=0.5)
+        sent = [bytes([i]) for i in range(30)]
+        for body in sent:
+            ha.cast(body)
+        world.run(3.0)
+        delivered = [m.data for m in hb.delivery_log]
+        assert delivered, "expected some clean deliveries at 50% garble"
+        assert set(delivered) <= set(sent)
+        assert hb.focus("CHKSUM").garbled_dropped > 0
+
 
 class TestPartitionController:
     def test_unpartitioned_all_reachable(self):
@@ -175,7 +259,7 @@ class TestNetwork:
         a, b = EndpointAddress("a"), EndpointAddress("b")
         net.attach(a, lambda p: None)
         net.attach(b, lambda p: None)
-        net.crash_node("a")
+        net.crash("a")
         with pytest.raises(NetworkError):
             net.unicast(a, b, b"x")
 
@@ -186,7 +270,7 @@ class TestNetwork:
         net.attach(a, lambda p: None)
         net.attach(b, got.append)
         net.unicast(a, b, b"x")
-        net.crash_node("b")  # packet is in flight
+        net.crash("b")  # packet is in flight
         sched.run()
         assert got == []
         assert net.stats.packets_to_dead == 1
