@@ -13,6 +13,12 @@ Commands:
 * ``chaos --seed 0 --scenarios 25 --substrate sim`` — run a seeded
   soak of generated failure scenarios through the verify checkers;
   failing scenarios are greedily shrunk to minimal repro timelines.
+  ``--stateful`` runs durable replicated-dict clients with
+  ``stateful=True`` recovery and the state-convergence check;
+  ``--store-dir`` keeps the WALs on disk for inspection.
+* ``store-inspect PATH`` — human-readable dump of a durable store
+  (snapshot header + WAL records, with CRC verdicts); ``PATH`` is one
+  store directory or any ancestor (all stores underneath are shown).
 """
 
 from __future__ import annotations
@@ -123,6 +129,13 @@ def _cmd_obs_report(args) -> int:
                 return 1
     if args.network or args.network_only:
         sections.append(render_network_report(snapshot))
+    if not args.network_only:
+        from repro.obs import render_store_report
+
+        try:
+            sections.append(render_store_report(snapshot))
+        except ConfigurationError:
+            pass  # no store/xfer series in this snapshot
     try:
         print("\n\n".join(sections))
     except BrokenPipeError:
@@ -136,6 +149,7 @@ def _cmd_chaos(args) -> int:
     import json
 
     from repro.chaos import (
+        DEFAULT_CHAOS_STACK,
         DEFAULT_CHECKS,
         ScenarioRunner,
         generate_scenario,
@@ -145,16 +159,19 @@ def _cmd_chaos(args) -> int:
 
     checks = tuple(DEFAULT_CHECKS) + (("total",) if args.check_total else ())
     runner = ScenarioRunner(
-        substrate=args.substrate, seed=args.seed, checks=checks
+        substrate=args.substrate, seed=args.seed, checks=checks,
+        store_dir=args.store_dir,
     )
     if args.scenario_file:
         scenarios = load_scenarios(args.scenario_file)
     else:
         scenarios = [
             generate_scenario(
-                args.seed, index, nodes=args.nodes, stack=args.stack,
+                args.seed, index, nodes=args.nodes,
+                stack=args.stack or DEFAULT_CHAOS_STACK,
                 profile=args.substrate if args.substrate in ("sim", "realtime")
                 else "sim",
+                stateful=args.stateful,
             )
             for index in range(args.scenarios)
         ]
@@ -215,6 +232,25 @@ def _cmd_chaos(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_store_inspect(args) -> int:
+    import os
+
+    from repro.store import render_path
+
+    if not os.path.exists(args.path):
+        print(f"error: no such path {args.path}", file=sys.stderr)
+        return 2
+    rendered = render_path(args.path)
+    if not rendered.strip():
+        print(f"no stores found under {args.path}", file=sys.stderr)
+        return 1
+    try:
+        print(rendered)
+    except BrokenPipeError:
+        return 0
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -251,8 +287,18 @@ def main(argv: List[str] = None) -> int:
                        choices=["sim", "realtime"])
     chaos.add_argument("--nodes", type=int, default=4,
                        help="group size per scenario")
-    chaos.add_argument("--stack", default="MBRSHIP:FRAG:NAK:CHKSUM:COM",
-                       help="protocol stack under test")
+    chaos.add_argument("--stack", default=None,
+                       help="protocol stack under test (default: the "
+                            "chaos stack; --stateful swaps in the "
+                            "XFER:TOTAL stateful stack)")
+    chaos.add_argument("--stateful", action="store_true",
+                       help="durable replicated-dict clients, "
+                            "stateful=True recovery, and the "
+                            "state-convergence check")
+    chaos.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="root for on-disk WALs (works on either "
+                            "substrate; failing runs leave their "
+                            "stores for `store-inspect`)")
     chaos.add_argument("--check-total", action="store_true",
                        help="also demand total order (fails on stacks "
                             "without a TOTAL layer — useful for shrink "
@@ -269,6 +315,13 @@ def main(argv: List[str] = None) -> int:
     chaos.add_argument("--report", default=None, metavar="PATH",
                        help="write a JSON soak report (always written, "
                             "pass or fail)")
+    inspect = sub.add_parser(
+        "store-inspect",
+        help="human-readable dump of durable-store WALs and snapshots",
+    )
+    inspect.add_argument("path", help="a store directory (holding "
+                                      "wal.log/snapshot.bin) or any "
+                                      "ancestor directory")
     args = parser.parse_args(argv)
     handlers = {
         "tables": _cmd_tables,
@@ -277,6 +330,7 @@ def main(argv: List[str] = None) -> int:
         "demo": _cmd_demo,
         "obs-report": _cmd_obs_report,
         "chaos": _cmd_chaos,
+        "store-inspect": _cmd_store_inspect,
     }
     return handlers[args.command](args)
 

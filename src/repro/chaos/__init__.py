@@ -24,6 +24,7 @@ from repro.chaos.generator import generate_scenario
 from repro.chaos.runner import DEFAULT_CHECKS, ScenarioResult, ScenarioRunner
 from repro.chaos.scenario import (
     DEFAULT_CHAOS_STACK,
+    STATEFUL_CHAOS_STACK,
     ChaosOp,
     Crash,
     Heal,
@@ -48,6 +49,7 @@ __all__ = [
     "InjectLoad",
     "Partition",
     "Recover",
+    "STATEFUL_CHAOS_STACK",
     "Scenario",
     "ScenarioResult",
     "ScenarioRunner",

@@ -10,10 +10,13 @@ worlds use for processes and the networks use for addresses):
 
 * ``crash(node)`` — fail-stop the node: it stops sending, receiving,
   and (at the world level) executing timers, immediately.
-* ``recover(node)`` — bring a crashed node back *with a blank slate*.
-  Recovery never resumes old state: the node's endpoints are gone and
-  it must re-join its groups through the MBRSHIP join/merge path,
-  exactly as a rebooted machine would.
+* ``recover(node, stateful=False)`` — bring a crashed node back.
+  Recovery never resumes in-memory state: the node's endpoints are gone
+  and it must re-join its groups through the MBRSHIP join/merge path,
+  exactly as a rebooted machine would.  ``stateful=False`` models a
+  *replaced* machine (the node's durable stores are wiped too);
+  ``stateful=True`` models a *rebooted* one — the stores survive, so
+  clients replay their WALs and catch the delta over XFER.
 * ``partition(*components)`` — split connectivity into node-name
   components (unlisted nodes form an implicit extra component).
 * ``heal()`` — remove all partitions.
@@ -57,8 +60,9 @@ class FaultPlane(Protocol):
         """Fail-stop ``node`` immediately."""
         ...
 
-    def recover(self, node: str) -> object:
-        """Bring a crashed ``node`` back with a blank slate."""
+    def recover(self, node: str, stateful: bool = False) -> object:
+        """Bring a crashed ``node`` back: blank slate by default,
+        durable stores intact when ``stateful``."""
         ...
 
     def node_alive(self, node: str) -> bool:

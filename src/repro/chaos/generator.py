@@ -27,6 +27,7 @@ from typing import List
 
 from repro.chaos.scenario import (
     DEFAULT_CHAOS_STACK,
+    STATEFUL_CHAOS_STACK,
     ChaosOp,
     Crash,
     Heal,
@@ -61,10 +62,20 @@ def generate_scenario(
     nodes: int = 4,
     stack: str = DEFAULT_CHAOS_STACK,
     profile: str = "sim",
+    stateful: bool = False,
 ) -> Scenario:
-    """Deterministically generate scenario ``index`` of a soak."""
+    """Deterministically generate scenario ``index`` of a soak.
+
+    ``stateful=True`` marks the scenario for the runner's durable-client
+    mode and (when ``stack`` was left at the default) swaps in
+    :data:`~repro.chaos.scenario.STATEFUL_CHAOS_STACK` so the stack
+    carries TOTAL + XFER.  The op timeline is unchanged — the same
+    ``(seed, index)`` yields the same storm either way.
+    """
     if profile not in _PROFILES:
         raise ValueError(f"unknown chaos profile {profile!r}")
+    if stateful and stack == DEFAULT_CHAOS_STACK:
+        stack = STATEFUL_CHAOS_STACK
     from repro.sim.rand import derive_seed
 
     rng = random.Random(derive_seed(seed, f"chaos.gen.{index}"))
@@ -132,4 +143,5 @@ def generate_scenario(
         stack=stack,
         duration=duration,
         settle=settle,
+        stateful=stateful,
     )

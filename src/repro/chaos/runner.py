@@ -15,7 +15,8 @@ A run has four phases:
 3. **mend** — the runner heals partitions, restores a pristine fault
    model, recovers every crashed node (each recovery re-joins through
    MBRSHIP merge with a *fresh* endpoint — fail-stop nodes never resume
-   state), and gives the group ``scenario.settle`` seconds to converge;
+   in-memory state), and gives the group ``scenario.settle`` seconds to
+   converge;
 4. **verify** — the delivery logs and the world trace are replayed
    through the :mod:`repro.verify` checkers; every
    :class:`~repro.errors.VerificationError` becomes a violation string
@@ -25,6 +26,15 @@ On the DES the whole run is a pure function of ``(seed, scenario)``:
 the :meth:`ScenarioResult.digest` — a hash over every member's view
 history and delivery log — is byte-identical across same-seed runs,
 which is what turns a soak failure into a replayable repro.
+
+**Stateful mode** (``scenario.stateful``): every node hosts a durable
+:class:`~repro.toolkit.replicated_data.ReplicatedDict` client instead
+of a bare handle, load ops become replicated writes, crashed nodes are
+recovered with ``stateful=True`` (store WAL replay + XFER catch-up),
+and verification adds the ``state`` check — after the mend, every
+member's dict digest must be identical.  The state digests also fold
+into :meth:`ScenarioResult.digest`, so DES determinism now covers the
+durable state too.
 """
 
 from __future__ import annotations
@@ -127,8 +137,17 @@ class ScenarioRunner:
         checks: check names to perform (default
             :data:`DEFAULT_CHECKS`).  ``"total"`` adds the total-order
             checker — demanding it of a stack without a TOTAL layer is
-            the canonical deliberately-failing scenario.
+            the canonical deliberately-failing scenario.  ``"state"``
+            (added automatically for stateful scenarios) requires every
+            member's replicated-dict digest to match after the mend.
         network: DES network kind for the sim substrate.
+        store_dir: root directory for durable stores.  When given, each
+            scenario's world gets a :class:`~repro.store.FileStoreDomain`
+            rooted at ``<store_dir>/<scenario name>`` — on *either*
+            substrate — so a failing run leaves its WALs on disk for
+            ``python -m repro store-inspect``.  File I/O is outside the
+            DES event loop, so sim digests stay pure in
+            ``(seed, scenario)``.
     """
 
     def __init__(
@@ -137,6 +156,7 @@ class ScenarioRunner:
         seed: int = 0,
         checks: Optional[Iterable[str]] = None,
         network: str = "lan",
+        store_dir: Optional[str] = None,
     ) -> None:
         if substrate not in ("sim", "realtime"):
             raise ValueError(f"unknown substrate {substrate!r}")
@@ -144,6 +164,7 @@ class ScenarioRunner:
         self.seed = seed
         self.checks = tuple(checks) if checks is not None else DEFAULT_CHECKS
         self.network = network
+        self.store_dir = store_dir
 
     # ------------------------------------------------------------------
     # World plumbing
@@ -155,13 +176,35 @@ class ScenarioRunner:
         return derive_seed(self.seed, f"chaos.run.{scenario.name}")
 
     def _make_world(self, scenario: Scenario):
+        store = None
+        metrics = None
+        if self.store_dir is not None:
+            import os
+
+            from repro.obs import MetricsRegistry
+            from repro.store import FileStoreDomain
+
+            # Shared registry so the file store's counters land in the
+            # same place as the world's.
+            metrics = MetricsRegistry()
+            store = FileStoreDomain(
+                root=os.path.join(self.store_dir, scenario.name),
+                metrics=metrics,
+            )
         if self.substrate == "sim":
             from repro.core.process import World
 
-            return World(seed=self._world_seed(scenario), network=self.network)
+            return World(
+                seed=self._world_seed(scenario),
+                network=self.network,
+                metrics=metrics,
+                store=store,
+            )
         from repro.runtime.world import RealtimeWorld
 
-        return RealtimeWorld(seed=self._world_seed(scenario))
+        return RealtimeWorld(
+            seed=self._world_seed(scenario), metrics=metrics, store=store
+        )
 
     # ------------------------------------------------------------------
     # Running
@@ -170,11 +213,14 @@ class ScenarioRunner:
     def run(self, scenario: Scenario) -> ScenarioResult:
         """Execute one scenario; always returns a result (never raises
         for protocol-level violations — those land in ``violations``)."""
+        checks = self.checks
+        if scenario.stateful and "state" not in checks:
+            checks = checks + ("state",)
         result = ScenarioResult(
             scenario=scenario,
             seed=self.seed,
             substrate=self.substrate,
-            checks=self.checks,
+            checks=checks,
         )
         world = self._make_world(scenario)
         try:
@@ -188,15 +234,30 @@ class ScenarioRunner:
         group = f"chaos-{scenario.name}"
         #: node -> list of handles, oldest first (recoveries append).
         handles: Dict[str, List[Any]] = {node: [] for node in scenario.nodes}
+        #: node -> list of durable dict clients (stateful mode only).
+        clients: Dict[str, List[Any]] = {node: [] for node in scenario.nodes}
         #: source endpoint string -> payloads cast, in order (FIFO oracle).
         sent_by: Dict[str, List[bytes]] = {}
         crashed: set = set()
         self._cast_seq = 0
+        stateful = scenario.stateful
 
         def join(node: str) -> None:
-            handle = world.process(node).endpoint().join(
-                group, stack=scenario.stack
-            )
+            if stateful:
+                from repro.toolkit.replicated_data import ReplicatedDict
+
+                client = ReplicatedDict(
+                    world.process(node).endpoint(),
+                    group,
+                    stack=scenario.stack,
+                    durable=True,
+                )
+                clients[node].append(client)
+                handle = client.handle
+            else:
+                handle = world.process(node).endpoint().join(
+                    group, stack=scenario.stack
+                )
             handles[node].append(handle)
             sent_by.setdefault(str(handle.endpoint_address), [])
 
@@ -221,8 +282,8 @@ class ScenarioRunner:
             target = storm_start + op.at
             if target > world.now:
                 world.run(target - world.now)
-            self._apply(world, op, scenario, handles, sent_by, crashed,
-                        group, result)
+            self._apply(world, op, scenario, handles, clients, sent_by,
+                        crashed, result, join)
             note(f"t={world.now - storm_start:.2f} {op.label()}")
         tail = storm_start + scenario.duration - world.now
         if tail > 0:
@@ -234,7 +295,7 @@ class ScenarioRunner:
         world.heal()
         world.set_faults(None)
         for node in sorted(crashed):
-            world.recover(node)
+            world.recover(node, stateful=stateful)
             join(node)
         crashed.clear()
 
@@ -245,10 +306,17 @@ class ScenarioRunner:
                 for h in live
                 if h.view is not None
             }
-            return (
-                len(views) == 1
-                and all(h.view is not None and h.view.size == full for h in live)
-            )
+            if len(views) != 1 or not all(
+                h.view is not None and h.view.size == full for h in live
+            ):
+                return False
+            if stateful:
+                final = [c[-1] for c in clients.values() if c]
+                if not all(c.synced for c in final):
+                    return False
+                if len({c.digest() for c in final}) != 1:
+                    return False
+            return True
 
         result.converged = world.run_while(converged, timeout=scenario.settle)
         # Give in-flight retransmissions a final drain so delivery logs
@@ -257,8 +325,9 @@ class ScenarioRunner:
 
         # Phase 4: verify.
         all_handles = [h for per_node in handles.values() for h in per_node]
-        self._verify(world, all_handles, sent_by, result)
-        result.digest = self._digest(all_handles)
+        final_clients = [c[-1] for c in clients.values() if c]
+        self._verify(world, all_handles, sent_by, final_clients, result)
+        result.digest = self._digest(all_handles, final_clients)
         self._note_metrics(world, result)
 
     # ------------------------------------------------------------------
@@ -271,10 +340,11 @@ class ScenarioRunner:
         op: ChaosOp,
         scenario: Scenario,
         handles: Dict[str, List[Any]],
+        clients: Dict[str, List[Any]],
         sent_by: Dict[str, List[bytes]],
         crashed: set,
-        group: str,
         result: ScenarioResult,
+        join,
     ) -> None:
         if isinstance(op, Crash):
             if world.node_alive(op.node):
@@ -282,13 +352,9 @@ class ScenarioRunner:
                 crashed.add(op.node)
         elif isinstance(op, Recover):
             if op.node in crashed:
-                world.recover(op.node)
+                world.recover(op.node, stateful=scenario.stateful)
                 crashed.discard(op.node)
-                handle = world.process(op.node).endpoint().join(
-                    group, stack=scenario.stack
-                )
-                handles[op.node].append(handle)
-                sent_by.setdefault(str(handle.endpoint_address), [])
+                join(op.node)
         elif isinstance(op, Partition):
             world.partition(*[list(c) for c in op.components])
         elif isinstance(op, Heal):
@@ -296,7 +362,8 @@ class ScenarioRunner:
         elif isinstance(op, SetFaults):
             world.set_faults(op.model())
         elif isinstance(op, InjectLoad):
-            self._inject_load(world, op, scenario, handles, sent_by, result)
+            self._inject_load(world, op, scenario, handles, clients,
+                              sent_by, result)
         else:  # pragma: no cover - scenario.py and this dispatch co-evolve
             raise ValueError(f"runner cannot apply op kind {op.kind!r}")
 
@@ -306,10 +373,12 @@ class ScenarioRunner:
         op: InjectLoad,
         scenario: Scenario,
         handles: Dict[str, List[Any]],
+        clients: Dict[str, List[Any]],
         sent_by: Dict[str, List[bytes]],
         result: ScenarioResult,
     ) -> None:
         handle = handles[op.node][-1] if handles[op.node] else None
+        client = clients[op.node][-1] if clients[op.node] else None
         if handle is None or handle.left or not world.node_alive(op.node):
             result.casts_skipped += op.count
             return
@@ -321,9 +390,19 @@ class ScenarioRunner:
         for _ in range(op.count):
             stamp = f"{scenario.name}|{op.node}|{self._cast_seq}|".encode()
             self._cast_seq += 1
-            payload = (stamp + b"." * op.size)[: max(op.size, len(stamp))]
             try:
-                handle.cast(payload)
+                if client is not None:
+                    # Stateful load: a replicated write under a unique
+                    # key.  Keys never collide, so set ops commute and
+                    # the converged digests are storm-order-independent.
+                    payload = client.set(
+                        stamp.decode("utf-8"), "." * op.size
+                    )
+                else:
+                    payload = (
+                        stamp + b"." * op.size
+                    )[: max(op.size, len(stamp))]
+                    handle.cast(payload)
             except Exception:
                 # A node in a blocked minority or mid-leave may refuse;
                 # chaos shrugs — the skip count keeps the books honest.
@@ -342,9 +421,11 @@ class ScenarioRunner:
         world,
         all_handles: List[Any],
         sent_by: Dict[str, List[bytes]],
+        final_clients: List[Any],
         result: ScenarioResult,
     ) -> None:
         checkers = {
+            "state": lambda: self._check_state(final_clients),
             "views": lambda: check_view_agreement(all_handles),
             "vs": lambda: check_virtual_synchrony(all_handles),
             "relacs": lambda: check_view_synchrony_relacs(all_handles),
@@ -360,7 +441,7 @@ class ScenarioRunner:
                 ],
             ),
         }
-        for name in self.checks:
+        for name in result.checks:
             checker = checkers.get(name)
             if checker is None:
                 raise ValueError(f"unknown check {name!r}")
@@ -374,8 +455,36 @@ class ScenarioRunner:
                 )
 
     @staticmethod
-    def _digest(all_handles: List[Any]) -> str:
-        """Hash every member's view history and delivery log."""
+    def _check_state(final_clients: List[Any]) -> None:
+        """The state-convergence check: after the mend, every member's
+        replicated-dict state must be authoritative and identical."""
+        if not final_clients:
+            raise VerificationError(
+                "state check requires a stateful scenario (no clients)"
+            )
+        violations = []
+        for client in final_clients:
+            if not client.synced:
+                violations.append(f"{client._address}: never synced")
+        digests = sorted(
+            {(c.digest(), str(c._address)) for c in final_clients if c.synced}
+        )
+        if len({d for d, _ in digests}) > 1:
+            for digest_value, address in digests:
+                violations.append(
+                    f"{address}: state digest {digest_value[:16]}"
+                )
+        if violations:
+            raise VerificationError(
+                f"replicated state diverged across "
+                f"{len(final_clients)} members",
+                violations=violations,
+            )
+
+    @staticmethod
+    def _digest(all_handles: List[Any], final_clients: List[Any] = ()) -> str:
+        """Hash every member's view history and delivery log (and, for
+        stateful runs, every member's final state digest)."""
         digest = hashlib.sha256()
         for handle in sorted(all_handles, key=lambda h: str(h.endpoint_address)):
             digest.update(str(handle.endpoint_address).encode())
@@ -388,6 +497,9 @@ class ScenarioRunner:
             for delivered in handle.delivery_log:
                 digest.update(b"|M" + str(delivered.source).encode() + b":")
                 digest.update(delivered.data)
+        for client in sorted(final_clients, key=lambda c: str(c._address)):
+            digest.update(b"|S" + str(client._address).encode() + b":")
+            digest.update(client.digest().encode())
         return digest.hexdigest()
 
     def _note_metrics(self, world, result: ScenarioResult) -> None:

@@ -33,6 +33,11 @@ from repro.net.faults import FaultModel
 #: losses instead of undetected corruption.
 DEFAULT_CHAOS_STACK = "MBRSHIP:FRAG:NAK:CHKSUM:COM"
 
+#: The stack stateful scenarios exercise: the default chaos stack plus
+#: TOTAL (so replicated-dict updates apply in one order everywhere) and
+#: XFER on top (so recovered nodes catch the delta their WAL missed).
+STATEFUL_CHAOS_STACK = "XFER:TOTAL:MBRSHIP:FRAG:NAK:CHKSUM:COM"
+
 
 @dataclass(frozen=True)
 class ChaosOp:
@@ -165,6 +170,11 @@ class Scenario:
     #: Post-storm grace: how long the runner lets the healed, fully
     #: recovered group converge before verification.
     settle: float = 20.0
+    #: Stateful runs replace raw group handles with durable
+    #: :class:`~repro.toolkit.replicated_data.ReplicatedDict` clients,
+    #: recover crashed nodes with ``stateful=True`` (WAL replay + XFER
+    #: catch-up), and add the state-convergence check.
+    stateful: bool = False
 
     def __post_init__(self) -> None:
         ordered = tuple(sorted(self.ops, key=lambda op: op.at))
@@ -179,6 +189,7 @@ class Scenario:
             stack=self.stack,
             duration=self.duration,
             settle=self.settle,
+            stateful=self.stateful,
         )
 
     def describe(self) -> str:
@@ -186,6 +197,7 @@ class Scenario:
         header = (
             f"scenario {self.name}: nodes={','.join(self.nodes)} "
             f"stack={self.stack} duration={self.duration:.1f}s"
+            + (" stateful" if self.stateful else "")
         )
         lines = [header] + [f"  {op.describe()}" for op in self.ops]
         return "\n".join(lines)
@@ -198,6 +210,7 @@ class Scenario:
             "stack": self.stack,
             "duration": self.duration,
             "settle": self.settle,
+            "stateful": self.stateful,
             "ops": [op.to_dict() for op in self.ops],
         }
 
@@ -216,6 +229,7 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
         stack=str(data.get("stack", DEFAULT_CHAOS_STACK)),
         duration=float(data.get("duration", 6.0)),
         settle=float(data.get("settle", 20.0)),
+        stateful=bool(data.get("stateful", False)),
     )
 
 

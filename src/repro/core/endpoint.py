@@ -116,6 +116,7 @@ class Endpoint:
             process=self.process,
             metrics=getattr(world, "metrics", None),
             spans=getattr(world, "spans", None),
+            store=getattr(world, "store", None),
             obs=getattr(world, "obs", None) or ObsOptions(),
         )
         built = config.build(context, handle.deliver_upcall)

@@ -57,6 +57,12 @@ class LayerContext:
     metrics: Optional[MetricsRegistry] = None
     #: The world's message-path span recorder, if it keeps one.
     spans: Optional[SpanRecorder] = None
+    #: The world's durable-store domain
+    #: (:class:`~repro.store.store.MemoryStoreDomain` on the DES,
+    #: :class:`~repro.store.store.FileStoreDomain` on the realtime
+    #: substrate; ``None`` for bare contexts).  Layers obtain their own
+    #: store with ``context.store.store(node, namespace)``.
+    store: Any = None
     #: World-level instrumentation defaults; a per-stack
     #: :class:`~repro.core.stack.StackConfig` can override them.
     obs: ObsOptions = dataclass_field(default_factory=ObsOptions)

@@ -29,6 +29,7 @@ from repro.obs import MetricsRegistry, ObsOptions, SpanRecorder, write_jsonl
 from repro.sim.rand import RandomRouter
 from repro.sim.scheduler import EventHandle, Scheduler
 from repro.sim.trace import TraceRecorder
+from repro.store import MemoryStoreDomain
 
 _NETWORK_KINDS = {
     "lan": LanNetwork,
@@ -210,6 +211,7 @@ class World:
         registry: Optional[HeaderRegistry] = None,
         obs: Optional[ObsOptions] = None,
         metrics: Optional[MetricsRegistry] = None,
+        store: Optional[Any] = None,
         **network_kwargs: Any,
     ) -> None:
         self.scheduler = Scheduler()
@@ -224,6 +226,12 @@ class World:
         #: Message-path spans (populated only when ``obs.spans`` is on).
         self.spans = SpanRecorder(
             enabled=self.obs.spans, max_spans=self.obs.max_spans
+        )
+        #: Durable-store domain, keyed by node name so state survives
+        #: crash/recover (deterministic in-memory journals by default; a
+        #: :class:`~repro.store.FileStoreDomain` writes real files).
+        self.store = store if store is not None else MemoryStoreDomain(
+            metrics=self.metrics
         )
         if wire_mode not in ("aligned", "compact", "packed"):
             raise ConfigurationError(f"unknown wire mode {wire_mode!r}")
@@ -285,17 +293,24 @@ class World:
         self.process(name)._fail_stop()
         self._note_fault_op("crash")
 
-    def recover(self, name: str) -> Process:
-        """Recover a crashed process with a blank slate.
+    def recover(self, name: str, stateful: bool = False) -> Process:
+        """Recover a crashed process; blank slate unless ``stateful``.
 
         The process comes back with no endpoints and no group state —
         it must create fresh endpoints and re-join through the MBRSHIP
         join/merge path, never resume silently.  Returns the process so
         callers can immediately re-join: ``world.recover("b").endpoint()
         .join(...)``.
+
+        ``stateful=False`` models a *replaced* machine: the node's
+        durable stores are wiped too.  ``stateful=True`` models a
+        *rebooted* machine — the disk survived — so clients can replay
+        their WALs before re-joining and catch the delta over XFER.
         """
         proc = self.process(name)
         was_dead = not proc.alive
+        if was_dead and not stateful:
+            self.store.wipe(name)
         proc._restart()
         if was_dead:
             self._note_fault_op("recover")

@@ -22,6 +22,7 @@ it implements.  Layer names usable in stack specs:
 ``CHKSUM`` ``SIGN`` ``CRYPT`` ``COMPRESS``  integrity/privacy/bandwidth
 ``FLOW`` ``PRIO``     pacing / priority delivery
 ``LOGGER`` ``TRACER`` ``ACCOUNT``  journaling / tracing / metering
+``XFER``              state transfer to joiners (snapshot streaming)
 ====================  =================================================
 
 :class:`~repro.layers.sockets.HorusSocket` is the UNIX-socket facade
@@ -57,6 +58,7 @@ from repro.layers.stable import StableLayer
 from repro.layers.syncclock import SyncClockLayer
 from repro.layers.total import TotalOrderLayer
 from repro.layers.vss import ViewSemiSyncLayer
+from repro.layers.xfer import StateTransferLayer
 
 __all__ = [
     "AccountingLayer",
@@ -85,6 +87,7 @@ __all__ = [
     "SafeOrderLayer",
     "SigningLayer",
     "StableLayer",
+    "StateTransferLayer",
     "SyncClockLayer",
     "TotalOrderLayer",
     "TracerLayer",

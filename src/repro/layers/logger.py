@@ -1,15 +1,20 @@
 """LOGGER — message logging (Figure 1: "tolerance of total crash failures").
 
-Records every delivered message and every installed view to a stable
-log (in the simulation, a per-endpoint journal surviving in the world's
-trace domain).  After a total failure — every member crashed — a new
-generation of processes can replay a member's journal to reconstruct
-the group's final state, which is exactly why Figure 1 lists logging as
-a protocol type.
+Records every delivered message and every installed view to a durable
+journal.  When the world carries a store domain
+(:attr:`~repro.core.layer.LayerContext.store` — both worlds do by
+default), the journal is backed by a :class:`~repro.store.DurableStore`
+write-ahead log keyed by ``(node, "logger.<group>")``, which survives
+crash and ``stateful=True`` recovery on *both* substrates: after a
+total failure — every member crashed — a new generation of processes
+replays a member's journal to reconstruct the group's final state,
+which is exactly why Figure 1 lists logging as a protocol type.  On a
+bare context (no store domain) the journal is memory-only, as before.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
@@ -29,6 +34,36 @@ class LogEntry:
     body: bytes = b""
     view_members: tuple = ()
     view_epoch: int = 0
+    #: True for entries reconstructed from the WAL of a previous
+    #: incarnation (their ``time`` is the old incarnation's clock).
+    recovered: bool = False
+
+    def encode(self) -> bytes:
+        """WAL record form; inverse of :meth:`decode`."""
+        return json.dumps({
+            "kind": self.kind,
+            "time": self.time,
+            "source": str(self.source) if self.source is not None else None,
+            "body": self.body.hex(),
+            "view_members": list(self.view_members),
+            "view_epoch": self.view_epoch,
+        }, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LogEntry":
+        """Rebuild an entry from its WAL record."""
+        raw = json.loads(data.decode("utf-8"))
+        source = raw.get("source")
+        return cls(
+            kind=raw["kind"],
+            time=float(raw["time"]),
+            source=(EndpointAddress.unmarshal(source.encode("utf-8"))
+                    if source else None),
+            body=bytes.fromhex(raw.get("body", "")),
+            view_members=tuple(raw.get("view_members", ())),
+            view_epoch=int(raw.get("view_epoch", 0)),
+            recovered=True,
+        )
 
 
 @register_layer
@@ -38,6 +73,10 @@ class LoggingLayer(Layer):
     Config:
         capacity (int): maximum retained entries, oldest evicted
             (default 100000).
+        durable (bool): back the journal with the world's store domain
+            when one is present (default True; a no-op on bare
+            contexts).  The WAL is keyed by ``(node, "logger.<group>")``
+            so a re-incarnated process finds its own journal.
     """
 
     name = "LOGGER"
@@ -46,6 +85,20 @@ class LoggingLayer(Layer):
         super().__init__(context, **config)
         self.capacity = int(config.get("capacity", 100_000))
         self.journal: List[LogEntry] = []
+        self.store = None
+        #: Entries reconstructed from a previous incarnation's WAL.
+        self.recovered_entries = 0
+        if bool(config.get("durable", True)) and context.store is not None:
+            self.store = context.store.store(
+                context.endpoint.node, f"logger.{context.group}"
+            )
+            replayed = self.store.replay()
+            for record in replayed.entries:
+                try:
+                    self.journal.append(LogEntry.decode(record))
+                except (ValueError, KeyError):
+                    continue  # foreign or damaged record; skip, never crash
+            self.recovered_entries = len(self.journal)
 
     def handle_up(self, upcall: Upcall) -> None:
         if upcall.type in (UpcallType.CAST, UpcallType.SEND) and upcall.message:
@@ -70,6 +123,8 @@ class LoggingLayer(Layer):
 
     def _append(self, entry: LogEntry) -> None:
         self.journal.append(entry)
+        if self.store is not None:
+            self.store.append(entry.encode())
         if len(self.journal) > self.capacity:
             del self.journal[: len(self.journal) - self.capacity]
 
@@ -86,6 +141,8 @@ class LoggingLayer(Layer):
             journal_entries=len(self.journal),
             deliveries=sum(1 for e in self.journal if e.kind == "deliver"),
             views=sum(1 for e in self.journal if e.kind == "view"),
+            durable=self.store is not None,
+            recovered_entries=self.recovered_entries,
         )
         return info
 

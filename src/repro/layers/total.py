@@ -16,7 +16,13 @@ token; the holder assigns consecutive global sequence numbers, so no
 message is ever on the wire without its final position.  Token loss is
 repaired for free by the view change, exactly as the paper argues:
 the first token holder of a view is its lowest-ranked member, and the
-global sequence restarts at 1 per view.
+global sequence restarts at 1 per view.  Every TOTAL message is tagged
+with its sender's view epoch: members install a view at slightly
+different instants, and an untagged token crossing that boundary (a
+request answered by a member still flushing the old view) would hand
+out old-view sequence numbers nobody can deliver against the restarted
+sequence.  Stale-epoch messages are dropped; ahead-of-epoch ones are
+held until the view installs locally.
 
 The paper also notes TOTAL "does not require direct interaction with a
 failure detector" despite the FLP impossibility result — liveness comes
@@ -49,9 +55,10 @@ hdr.register(
     fields=[
         ("kind", hdr.U8),
         ("gseq", hdr.U64),
+        ("epoch", hdr.U32),
         ("holder", hdr.ADDRESS),
     ],
-    defaults={"gseq": 0, "holder": _NOBODY},
+    defaults={"gseq": 0, "epoch": 0, "holder": _NOBODY},
 )
 
 
@@ -82,10 +89,15 @@ class TotalOrderLayer(Layer):
         self.buffer: Dict[int, Tuple[Message, EndpointAddress]] = {}
         self.requests: Deque[EndpointAddress] = deque()
         self._requested = False
+        self._epoch = 0  # epoch of the installed view; tags every message
+        # Messages tagged with a view we have not installed yet (a peer
+        # installed it first and spoke before our install arrived).
+        self._ahead: list = []
         # Statistics.
         self.token_passes = 0
         self.ordered_sent = 0
         self.delivered = 0
+        self.stale_epoch_dropped = 0
 
     # ------------------------------------------------------------------
     # Downcalls
@@ -111,7 +123,8 @@ class TotalOrderLayer(Layer):
         while self.pending_out and batch < self.max_batch:
             downcall = self.pending_out.popleft()
             downcall.message.push_header(
-                self.name, {"kind": _DATA, "gseq": self.next_gseq}
+                self.name,
+                {"kind": _DATA, "gseq": self.next_gseq, "epoch": self._epoch},
             )
             self.next_gseq += 1
             self.ordered_sent += 1
@@ -124,7 +137,7 @@ class TotalOrderLayer(Layer):
             return
         self._requested = True
         request = Message()
-        request.push_header(self.name, {"kind": _REQ})
+        request.push_header(self.name, {"kind": _REQ, "epoch": self._epoch})
         self.pass_down(Downcall(DowncallType.CAST, message=request))
 
     def _maybe_pass_token(self) -> None:
@@ -149,7 +162,9 @@ class TotalOrderLayer(Layer):
         self.trace("token_pass", to=str(target), gseq=self.next_gseq)
         token = Message()
         token.push_header(
-            self.name, {"kind": _TOKEN, "gseq": self.next_gseq, "holder": target}
+            self.name,
+            {"kind": _TOKEN, "gseq": self.next_gseq, "epoch": self._epoch,
+             "holder": target},
         )
         self.pass_down(Downcall(DowncallType.CAST, message=token))
 
@@ -169,6 +184,25 @@ class TotalOrderLayer(Layer):
             self.pass_up(upcall)
             return
         upcall.message.pop_header(self.name)
+        epoch = header["epoch"]
+        if epoch < self._epoch:
+            # Sent in a view we have already left.  The view change
+            # repaired the token and restarted the sequence, so a stale
+            # token/request/gseq must not leak into this view (a stale
+            # TOKEN would hand out old-view sequence numbers nobody can
+            # deliver).
+            self.stale_epoch_dropped += 1
+            self.trace("total_stale_epoch", kind=header["kind"],
+                       epoch=epoch, current=self._epoch)
+            return
+        if epoch > self._epoch:
+            # A peer installed the next view first and spoke before our
+            # own install arrived.  Hold the message until we catch up.
+            self._ahead.append((header, upcall))
+            return
+        self._on_total(header, upcall)
+
+    def _on_total(self, header, upcall: Upcall) -> None:
         kind = header["kind"]
         if kind == _DATA:
             self.buffer[header["gseq"]] = (upcall.message, upcall.source)
@@ -220,7 +254,16 @@ class TotalOrderLayer(Layer):
         self.next_deliver = 1
         self.requests.clear()
         self._requested = False
+        self._epoch = self.view.view_id.epoch
         self.pass_up(upcall)
+        # Replay messages that arrived tagged with this view before we
+        # installed it; drop anything the epoch has overtaken.
+        ahead, self._ahead = self._ahead, []
+        for header, held in ahead:
+            if header["epoch"] == self._epoch:
+                self._on_total(header, held)
+            elif header["epoch"] > self._epoch:
+                self._ahead.append((header, held))
         if self.pending_out:
             self._try_send()
 
@@ -236,6 +279,8 @@ class TotalOrderLayer(Layer):
             token_passes=self.token_passes,
             ordered_sent=self.ordered_sent,
             delivered=self.delivered,
+            stale_epoch_dropped=self.stale_epoch_dropped,
+            ahead_held=len(self._ahead),
             oracle=self.oracle,
         )
         return info

@@ -39,7 +39,11 @@ from repro.obs.registry import (
     SIZE_BUCKETS,
     TIME_BUCKETS,
 )
-from repro.obs.report import render_layer_report, render_network_report
+from repro.obs.report import (
+    render_layer_report,
+    render_network_report,
+    render_store_report,
+)
 from repro.obs.spans import MessageSpan, SpanEvent, SpanRecorder, StackObserver
 
 
@@ -105,6 +109,7 @@ __all__ = [
     "render_jsonl",
     "render_layer_report",
     "render_network_report",
+    "render_store_report",
     "render_prometheus",
     "snapshot_records",
     "write_jsonl",

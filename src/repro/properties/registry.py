@@ -341,6 +341,17 @@ register_profile(
         purpose="resource location: membership-aware service discovery",
     )
 )
+register_profile(
+    LayerProfile(
+        "XFER",
+        # Snapshot streams are subset sends that must arrive reliably,
+        # in order, within the view that triggered them — i.e. the full
+        # virtual-synchrony bundle MBRSHIP provides.
+        requires=_ps(3, 4, 8, 9, 10, 11, 12, 15),
+        provides=frozenset(),
+        purpose="state transfer to joiners (Section 9 snapshot streaming)",
+    )
+)
 
 # ----------------------------------------------------------------------
 # Rendering (regenerates the paper's tables from the live registry)

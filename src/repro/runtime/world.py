@@ -47,6 +47,7 @@ from repro.runtime.metrics import TransportStats
 from repro.runtime.transport import DEFAULT_MTU, UdpTransport
 from repro.sim.rand import RandomRouter
 from repro.sim.trace import TraceRecorder
+from repro.store import FileStoreDomain
 
 
 class RealtimeWorld:
@@ -62,6 +63,7 @@ class RealtimeWorld:
         host: str = "127.0.0.1",
         obs: Optional[ObsOptions] = None,
         metrics: Optional[MetricsRegistry] = None,
+        store: Optional[Any] = None,
     ) -> None:
         if wire_mode not in ("aligned", "compact", "packed"):
             raise ConfigurationError(f"unknown wire mode {wire_mode!r}")
@@ -80,6 +82,14 @@ class RealtimeWorld:
         self.spans = SpanRecorder(
             enabled=self.obs.spans, max_spans=self.obs.max_spans
         )
+        #: Durable-store domain: real per-endpoint files.  The default
+        #: domain lives in an ephemeral temp directory removed by
+        #: :meth:`close`; pass a :class:`~repro.store.FileStoreDomain`
+        #: rooted somewhere durable to keep state across world restarts.
+        self.store = store if store is not None else FileStoreDomain(
+            metrics=self.metrics
+        )
+        self._owns_store = store is None
         self.network = UdpTransport(self.engine, mtu=mtu, metrics=self.metrics)
         self._host = host
         self._processes: Dict[str, Process] = {}
@@ -140,16 +150,21 @@ class RealtimeWorld:
         self.process(name)._fail_stop()
         self._note_fault_op("crash")
 
-    def recover(self, name: str) -> Process:
-        """Recover a crashed local process with a blank slate.
+    def recover(self, name: str, stateful: bool = False) -> Process:
+        """Recover a crashed local process; blank slate unless ``stateful``.
 
         Mirrors :meth:`repro.core.process.World.recover`: old endpoints
         are destroyed and detached; the process must re-join its groups
         through MBRSHIP join/merge (its UDP socket stayed bound, so the
-        transport needs no rebinding).
+        transport needs no rebinding).  ``stateful=False`` also wipes
+        the node's durable stores; ``stateful=True`` keeps them (the
+        disk survived the reboot) so clients replay their WALs and
+        catch the delta over XFER.
         """
         proc = self.process(name)
         was_dead = not proc.alive
+        if was_dead and not stateful:
+            self.store.wipe(name)
         proc._restart()
         if was_dead:
             self._note_fault_op("recover")
@@ -243,6 +258,8 @@ class RealtimeWorld:
         except RuntimeError:
             pass
         self.engine.close()
+        if self._owns_store:
+            self.store.close()
 
     def __enter__(self) -> "RealtimeWorld":
         return self

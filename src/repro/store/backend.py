@@ -1,0 +1,94 @@
+"""Storage backends: where one store's bytes actually live.
+
+A backend is a tiny named-blob surface — ``read`` / ``append`` /
+``replace`` / ``delete`` — beneath the :class:`~repro.store.store
+.DurableStore`.  Two implementations share it:
+
+* :class:`MemoryBackend` — byte-exact in-memory blobs.  The DES world's
+  store domain hands these out so durable state is a pure function of
+  the run (and survives :meth:`~repro.core.process.Process._restart`,
+  which destroys every endpoint but not the world).
+* :class:`FileBackend` — real files in one directory, with
+  ``replace`` implemented as write-to-temp + ``os.replace`` + fsync so
+  snapshots and compactions are atomic against crashes.
+
+Both produce byte-identical WAL/snapshot content for the same append
+sequence, which is what lets ``python -m repro store-inspect`` and the
+torture tests treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+
+class MemoryBackend:
+    """Named blobs in memory; the DES's deterministic 'disk'."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[str, bytearray] = {}
+
+    def read(self, name: str) -> bytes:
+        """The blob's bytes (empty if it does not exist)."""
+        return bytes(self._blobs.get(name, b""))
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append to the named blob, creating it if needed."""
+        self._blobs.setdefault(name, bytearray()).extend(data)
+
+    def replace(self, name: str, data: bytes) -> None:
+        """Atomically replace the blob's contents."""
+        self._blobs[name] = bytearray(data)
+
+    def delete(self, name: str) -> None:
+        """Remove the blob (missing is fine)."""
+        self._blobs.pop(name, None)
+
+    def exists(self, name: str) -> bool:
+        """Whether the named blob exists."""
+        return name in self._blobs
+
+
+class FileBackend:
+    """Named files under one directory, with atomic replace."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def read(self, name: str) -> bytes:
+        try:
+            with open(self._path(name), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return b""
+
+    def append(self, name: str, data: bytes) -> None:
+        with open(self._path(name), "ab") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def replace(self, name: str, data: bytes) -> None:
+        # Write-to-temp + rename: a crash at any point leaves either the
+        # old contents or the new, never a torn mix.
+        path = self._path(name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def delete(self, name: str) -> None:
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))

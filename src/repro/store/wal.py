@@ -1,0 +1,91 @@
+"""The write-ahead-log record codec.
+
+One WAL is a flat byte sequence of length-prefixed, CRC'd records::
+
+    +----------------+----------------+=================+
+    | length  (u32)  | crc32   (u32)  | payload bytes   |
+    +----------------+----------------+=================+
+
+Both integers are big-endian; the CRC covers the payload only.  The
+format is deliberately dumb: a record is readable iff its full header
+and payload are on disk and the CRC matches, so a crash mid-append
+leaves at worst one torn record at the tail.
+
+:func:`scan` is the tolerant reader recovery leans on: it stops cleanly
+at the first truncated or corrupt record and reports what it skipped —
+a damaged suffix is *detected and ignored*, never replayed, because
+everything after a bad record is unattributable.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List
+
+_HEADER = struct.Struct(">II")  # length, crc32
+
+#: Hard cap on one record's payload (64 MiB): a corrupted length field
+#: must not turn into an absurd allocation.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+def encode_record(payload: bytes) -> bytes:
+    """One WAL record: header + payload, ready to append."""
+    if len(payload) > MAX_RECORD_BYTES:
+        raise ValueError(
+            f"WAL record of {len(payload)} bytes exceeds the "
+            f"{MAX_RECORD_BYTES}-byte cap"
+        )
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class WalScan:
+    """Everything a tolerant read of one WAL produced."""
+
+    #: Payloads of every intact record, in append order.
+    records: List[bytes] = field(default_factory=list)
+    #: Records skipped because their CRC did not match.
+    corrupt: int = 0
+    #: Whether the log ended mid-record (torn tail from a crash).
+    truncated: bool = False
+    #: Bytes of the log consumed by intact records (the safe prefix a
+    #: compaction may rewrite from).
+    intact_bytes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when every byte of the log was an intact record."""
+        return not self.corrupt and not self.truncated
+
+
+def scan(data: bytes) -> WalScan:
+    """Read records until the data runs out or goes bad.
+
+    The scan stops at the first problem: a torn header/payload marks the
+    log ``truncated``; a CRC mismatch counts one ``corrupt`` record.  In
+    either case the damaged suffix is ignored — only the intact prefix
+    is ever replayed.
+    """
+    result = WalScan()
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _HEADER.size:
+            result.truncated = True
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        body_start = offset + _HEADER.size
+        if length > MAX_RECORD_BYTES or total - body_start < length:
+            result.truncated = True
+            break
+        payload = data[body_start:body_start + length]
+        if zlib.crc32(payload) != crc:
+            result.corrupt += 1
+            break
+        result.records.append(payload)
+        offset = body_start + length
+        result.intact_bytes = offset
+    return result

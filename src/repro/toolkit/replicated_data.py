@@ -6,22 +6,36 @@ joins mid-life receives a snapshot from the coordinator (the paper's
 "joining a group and obtaining its state") before applying updates, so
 late replicas converge to the same contents as founding ones.
 
-State transfer piggybacks the view change: when a view adds members,
-the coordinator subset-sends its snapshot tagged with the view epoch;
-joiners buffer ordered updates until the snapshot lands, then apply
-them on top.
+State transfer is delegated to the stack's
+:class:`~repro.layers.xfer.StateTransferLayer`: the dict binds a
+provider (serialize my contents) and an installer (adopt the
+coordinator's contents) and the layer handles snapshot streaming,
+joiner buffering, and re-streaming across view changes.  A stack
+without XFER falls back to the original private piggyback protocol,
+with a :class:`DeprecationWarning`.
+
+With ``durable=True`` the dict also journals every applied update to
+the world's store domain (a write-ahead log keyed by
+``(node, "rdict.<group>")``), compacting into a snapshot every
+``snapshot_every`` updates.  A process recovered with
+``stateful=True`` replays the journal before re-joining, then catches
+the delta over XFER.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import warnings
 from typing import Any, Dict, List, Optional
 
 from repro.core.endpoint import Endpoint
 from repro.core.group import DeliveredMessage
 from repro.core.view import View
 
-DEFAULT_STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+DEFAULT_STACK = "XFER:TOTAL:MBRSHIP:FRAG:NAK:COM"
+#: The pre-XFER stack: state transfer via the dict's private piggyback.
+LEGACY_STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
 
 
 class ReplicatedDict:
@@ -30,36 +44,80 @@ class ReplicatedDict:
     >>> shared = ReplicatedDict(endpoint, "config")
     >>> shared.set("timeout", 30)
     >>> # after world.run(...): shared.get("timeout") == 30 at every member
+
+    Args:
+        stack: protocol stack spec; include an ``XFER`` layer (the
+            default does) for protocol-level state transfer.
+        durable: journal applied updates to the world's store domain so
+            ``stateful=True`` recovery replays them.
+        namespace: store namespace (default ``"rdict.<group>"``).
+        snapshot_every: compact the WAL into a snapshot after this many
+            journaled updates (durable mode only).
     """
 
     def __init__(
-        self, endpoint: Endpoint, group: str, stack: str = DEFAULT_STACK
+        self,
+        endpoint: Endpoint,
+        group: str,
+        stack: str = DEFAULT_STACK,
+        durable: bool = False,
+        namespace: Optional[str] = None,
+        snapshot_every: int = 64,
     ) -> None:
         self._data: Dict[str, Any] = {}
         self._synced = False  # founders sync trivially; joiners via snapshot
         self._buffer: List[DeliveredMessage] = []
         self._was_founder: Optional[bool] = None
         self.snapshots_sent = 0
+        self._snapshot_every = max(1, int(snapshot_every))
+        self.store = None
+        #: Updates replayed from a previous incarnation's journal.
+        self.recovered_updates = 0
+        #: Whether a previous incarnation's snapshot was restored.
+        self.recovered_snapshot = False
         # Captured before join(): the first VIEW upcall fires inside it.
         self._address = endpoint.address
+        self._xfer = None  # resolved after join(); _on_view checks it
+        if durable:
+            domain = getattr(endpoint.process.world, "store", None)
+            if domain is None:
+                raise ValueError(
+                    "durable=True needs a world with a store domain"
+                )
+            self.store = domain.store(
+                self._address.node, namespace or f"rdict.{group}"
+            )
+            self._replay_journal()
         self.handle = endpoint.join(
             group,
             stack=stack,
             on_message=self._deliver,
             on_view=self._on_view,
         )
+        xfers = self.handle.focus_all("XFER")
+        if xfers:
+            self._xfer = xfers[0]
+            self._xfer.bind(provider=self._provide, installer=self._install)
+        else:
+            warnings.warn(
+                "ReplicatedDict without an XFER layer uses the deprecated "
+                "private snapshot piggyback; stack an XFER layer (the "
+                "default stack does) for protocol-level state transfer",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     # Application surface
     # ------------------------------------------------------------------
 
-    def set(self, key: str, value: Any) -> None:
-        """Replicated write."""
-        self._cast({"op": "set", "key": key, "value": value})
+    def set(self, key: str, value: Any) -> bytes:
+        """Replicated write; returns the cast payload bytes."""
+        return self._cast({"op": "set", "key": key, "value": value})
 
-    def delete(self, key: str) -> None:
-        """Replicated delete."""
-        self._cast({"op": "del", "key": key})
+    def delete(self, key: str) -> bytes:
+        """Replicated delete; returns the cast payload bytes."""
+        return self._cast({"op": "del", "key": key})
 
     def get(self, key: str, default: Any = None) -> Any:
         """Local read of the replicated state."""
@@ -69,10 +127,17 @@ class ReplicatedDict:
         """A copy of the full local state."""
         return dict(self._data)
 
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON contents — equal digests mean
+        equal replicated state (the chaos runner's convergence oracle)."""
+        return hashlib.sha256(self._state_bytes()).hexdigest()
+
     @property
     def synced(self) -> bool:
         """Whether this member has the authoritative state (joiners are
         unsynced until their snapshot arrives)."""
+        if self._xfer is not None:
+            return self._xfer.synced
         return self._synced
 
     def __len__(self) -> int:
@@ -82,10 +147,17 @@ class ReplicatedDict:
     # Replication machinery
     # ------------------------------------------------------------------
 
-    def _cast(self, update: Dict[str, Any]) -> None:
-        self.handle.cast(b"U" + json.dumps(update).encode("utf-8"))
+    def _cast(self, update: Dict[str, Any]) -> bytes:
+        payload = b"U" + json.dumps(update, sort_keys=True).encode("utf-8")
+        self.handle.cast(payload)
+        return payload
+
+    def _state_bytes(self) -> bytes:
+        return json.dumps(self._data, sort_keys=True).encode("utf-8")
 
     def _on_view(self, view: View) -> None:
+        if self._xfer is not None:
+            return  # the XFER layer owns state transfer
         me = self._address
         if self._was_founder is None:
             # First view: a singleton founder is trivially synced; a
@@ -103,25 +175,71 @@ class ReplicatedDict:
     def _deliver(self, delivered: DeliveredMessage) -> None:
         kind, payload = delivered.data[:1], delivered.data[1:]
         if kind == b"S":
-            if not self._synced:
+            # Legacy piggyback snapshot (stacks without XFER).
+            if self._xfer is None and not self._synced:
                 self._data = json.loads(payload.decode("utf-8"))
                 self._synced = True
+                if self.store is not None:
+                    self.store.snapshot(self._state_bytes(), epoch=0)
                 buffered, self._buffer = self._buffer, []
                 for update in buffered:
                     self._apply(update.data[1:])
             return
-        if not self._synced:
+        if self._xfer is None and not self._synced:
             self._buffer.append(delivered)
             return
         self._apply(payload)
 
-    def _apply(self, payload: bytes) -> None:
-        update = json.loads(payload.decode("utf-8"))
-        if update["op"] == "set":
+    # ------------------------------------------------------------------
+    # XFER callbacks
+    # ------------------------------------------------------------------
+
+    def _provide(self) -> bytes:
+        return self._state_bytes()
+
+    def _install(self, state: bytes, epoch: int) -> None:
+        try:
+            self._data = json.loads(state.decode("utf-8")) if state else {}
+        except ValueError:
+            self._data = {}
+        self._synced = True
+        if self.store is not None:
+            # The transferred state supersedes the journal: compact.
+            self.store.snapshot(self._state_bytes(), epoch=epoch)
+
+    # ------------------------------------------------------------------
+    # Applying and journaling updates
+    # ------------------------------------------------------------------
+
+    def _apply(self, payload: bytes, persist: bool = True) -> None:
+        try:
+            update = json.loads(payload.decode("utf-8"))
+        except ValueError:
+            return  # foreign traffic (e.g. chaos probe payloads); skip
+        op = update.get("op")
+        if op == "set":
             self._data[update["key"]] = update["value"]
-        elif update["op"] == "del":
+        elif op == "del":
             self._data.pop(update["key"], None)
+        else:
+            return
+        if persist and self.store is not None:
+            self.store.append(payload)
+            if self.store.since_snapshot >= self._snapshot_every:
+                self.store.snapshot(self._state_bytes(), epoch=0)
+
+    def _replay_journal(self) -> None:
+        replayed = self.store.replay()
+        if replayed.snapshot is not None:
+            try:
+                self._data = json.loads(replayed.snapshot.decode("utf-8"))
+                self.recovered_snapshot = True
+            except ValueError:
+                self._data = {}
+        for record in replayed.entries:
+            self._apply(record, persist=False)
+        self.recovered_updates = len(replayed.entries)
 
     def __repr__(self) -> str:
-        state = "synced" if self._synced else "syncing"
-        return f"<ReplicatedDict {self.handle.endpoint_address} {state} n={len(self)}>"
+        state = "synced" if self.synced else "syncing"
+        return f"<ReplicatedDict {self._address} {state} n={len(self)}>"

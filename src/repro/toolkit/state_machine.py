@@ -6,10 +6,19 @@ level programming abstractions."  Commands are multicast through a
 TOTAL stack; every replica applies the identical sequence to a
 deterministic ``apply`` function, so replica state never diverges —
 across crashes, joins, and view changes.
+
+With the default stack a joining replica receives the coordinator's
+``(state, applied_log)`` snapshot through the stack's
+:class:`~repro.layers.xfer.StateTransferLayer` before applying new
+commands, so late replicas start from the group's history instead of
+``initial``.  With ``durable=True`` every applied command is also
+journaled to the world's store domain (WAL keyed by
+``(node, "rsm.<group>")``) and replayed on ``stateful=True`` recovery.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Callable, List, Optional
 
@@ -19,7 +28,9 @@ from repro.core.group import DeliveredMessage
 #: apply(state, command) -> new state.  Must be deterministic.
 ApplyFn = Callable[[Any, Any], Any]
 
-DEFAULT_STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+DEFAULT_STACK = "XFER:TOTAL:MBRSHIP:FRAG:NAK:COM"
+#: The pre-XFER stack: joiners start from ``initial``, not group history.
+LEGACY_STACK = "TOTAL:MBRSHIP:FRAG:NAK:COM"
 
 
 class ReplicatedStateMachine:
@@ -31,7 +42,9 @@ class ReplicatedStateMachine:
     >>> # after world.run(...): rsm.state reflects every applied command
 
     Commands are JSON-serializable values; ``apply_fn`` receives the
-    current state and one command and returns the next state.
+    current state and one command and returns the next state.  The
+    state itself must be JSON-serializable for snapshot transfer and
+    durable journaling to work.
     """
 
     def __init__(
@@ -41,21 +54,104 @@ class ReplicatedStateMachine:
         apply_fn: ApplyFn,
         initial: Any = None,
         stack: str = DEFAULT_STACK,
+        durable: bool = False,
+        namespace: Optional[str] = None,
+        snapshot_every: int = 64,
     ) -> None:
         self.apply_fn = apply_fn
         self.state = initial
         #: Every command applied, in order (identical at all replicas).
         self.applied_log: List[Any] = []
+        self.store = None
+        self._snapshot_every = max(1, int(snapshot_every))
+        #: Commands replayed from a previous incarnation's journal.
+        self.recovered_commands = 0
+        if durable:
+            domain = getattr(endpoint.process.world, "store", None)
+            if domain is None:
+                raise ValueError(
+                    "durable=True needs a world with a store domain"
+                )
+            self.store = domain.store(
+                endpoint.address.node, namespace or f"rsm.{group}"
+            )
+            self._replay_journal()
         self.handle = endpoint.join(group, stack=stack, on_message=self._deliver)
+        xfers = self.handle.focus_all("XFER")
+        self._xfer = xfers[0] if xfers else None
+        if self._xfer is not None:
+            self._xfer.bind(provider=self._provide, installer=self._install)
 
-    def submit(self, command: Any) -> None:
-        """Replicate one command (applies everywhere in total order)."""
-        self.handle.cast(json.dumps(command).encode("utf-8"))
+    def submit(self, command: Any) -> bytes:
+        """Replicate one command (applies everywhere in total order);
+        returns the cast payload bytes."""
+        payload = json.dumps(command, sort_keys=True).encode("utf-8")
+        self.handle.cast(payload)
+        return payload
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON ``(state, applied_log)``."""
+        return hashlib.sha256(self._state_bytes()).hexdigest()
+
+    @property
+    def synced(self) -> bool:
+        """Whether this replica holds the group's history (always true
+        without an XFER layer, which cannot transfer it)."""
+        return self._xfer.synced if self._xfer is not None else True
 
     def _deliver(self, delivered: DeliveredMessage) -> None:
-        command = json.loads(delivered.data.decode("utf-8"))
+        try:
+            command = json.loads(delivered.data.decode("utf-8"))
+        except ValueError:
+            return  # foreign traffic; a command is always JSON
+        self._apply(command)
+        if self.store is not None:
+            self.store.append(delivered.data)
+            if self.store.since_snapshot >= self._snapshot_every:
+                self.store.snapshot(self._state_bytes(), epoch=0)
+
+    def _apply(self, command: Any) -> None:
         self.state = self.apply_fn(self.state, command)
         self.applied_log.append(command)
+
+    # ------------------------------------------------------------------
+    # XFER callbacks and durable journaling
+    # ------------------------------------------------------------------
+
+    def _state_bytes(self) -> bytes:
+        return json.dumps(
+            {"state": self.state, "applied_log": self.applied_log},
+            sort_keys=True,
+        ).encode("utf-8")
+
+    def _provide(self) -> bytes:
+        return self._state_bytes()
+
+    def _install(self, state: bytes, epoch: int) -> None:
+        try:
+            decoded = json.loads(state.decode("utf-8")) if state else {}
+        except ValueError:
+            return
+        self.state = decoded.get("state")
+        self.applied_log = list(decoded.get("applied_log", ()))
+        if self.store is not None:
+            self.store.snapshot(self._state_bytes(), epoch=epoch)
+
+    def _replay_journal(self) -> None:
+        replayed = self.store.replay()
+        if replayed.snapshot is not None:
+            try:
+                decoded = json.loads(replayed.snapshot.decode("utf-8"))
+                self.state = decoded.get("state")
+                self.applied_log = list(decoded.get("applied_log", ()))
+            except ValueError:
+                pass
+        for record in replayed.entries:
+            try:
+                self._apply(json.loads(record.decode("utf-8")))
+            except ValueError:
+                continue
+        self.recovered_commands = len(replayed.entries)
 
     @property
     def commands_applied(self) -> int:

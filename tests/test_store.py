@@ -1,0 +1,230 @@
+"""Tests for the durable-state subsystem (repro.store)."""
+
+import os
+import struct
+
+import pytest
+
+from repro.store import (
+    MAX_RECORD_BYTES,
+    DurableStore,
+    FileStoreDomain,
+    MemoryBackend,
+    MemoryStoreDomain,
+    decode_snapshot,
+    encode_record,
+    encode_snapshot,
+    render_store,
+    scan,
+)
+from repro.store.store import SNAPSHOT_NAME, WAL_NAME
+
+
+class TestWalCodec:
+    def test_roundtrip(self):
+        payloads = [b"", b"a", b"hello world", bytes(range(256))]
+        data = b"".join(encode_record(p) for p in payloads)
+        result = scan(data)
+        assert result.records == payloads
+        assert result.clean
+        assert result.intact_bytes == len(data)
+
+    def test_truncated_tail_detected_and_ignored(self):
+        payloads = [b"one", b"two", b"three"]
+        data = b"".join(encode_record(p) for p in payloads)
+        # Cut mid-way through the last record's payload (torn append).
+        torn = data[:-2]
+        result = scan(torn)
+        assert result.records == [b"one", b"two"]
+        assert result.truncated
+        assert not result.clean
+
+    def test_torn_header_detected(self):
+        data = encode_record(b"whole") + b"\x00\x00\x00"  # 3 header bytes
+        result = scan(data)
+        assert result.records == [b"whole"]
+        assert result.truncated
+
+    def test_bitflip_crc_detected_suffix_never_replayed(self):
+        records = [encode_record(b"good-0"), encode_record(b"bad-1"),
+                   encode_record(b"good-2")]
+        data = bytearray(b"".join(records))
+        # Flip one payload bit inside the middle record.
+        flip_at = len(records[0]) + 8 + 2
+        data[flip_at] ^= 0x40
+        result = scan(bytes(data))
+        # The intact prefix survives; the damaged record AND everything
+        # after it are ignored — a later record is unattributable.
+        assert result.records == [b"good-0"]
+        assert result.corrupt == 1
+        assert not result.clean
+
+    def test_absurd_length_field_is_bounded(self):
+        # A corrupted length must not trigger a giant allocation.
+        data = struct.pack(">II", MAX_RECORD_BYTES + 1, 0) + b"x" * 64
+        result = scan(data)
+        assert result.records == []
+        assert result.truncated
+
+    def test_oversize_record_refused_at_write(self):
+        store = DurableStore(MemoryBackend())
+        with pytest.raises(ValueError):
+            store.append(b"x" * (MAX_RECORD_BYTES + 1))
+
+
+class TestSnapshotCodec:
+    def test_roundtrip(self):
+        blob = encode_snapshot(b'{"k": 1}', epoch=7)
+        assert decode_snapshot(blob) == (b'{"k": 1}', 7)
+
+    def test_damage_means_genesis(self):
+        blob = bytearray(encode_snapshot(b"state", epoch=3))
+        blob[-1] ^= 0x01
+        assert decode_snapshot(bytes(blob)) == (None, 0)
+        assert decode_snapshot(b"") == (None, 0)
+        assert decode_snapshot(b"JUNK" + bytes(40)) == (None, 0)
+
+
+class TestDurableStore:
+    def test_append_replay(self):
+        store = DurableStore(MemoryBackend())
+        for i in range(5):
+            store.append(f"u{i}".encode())
+        replayed = store.replay()
+        assert replayed.snapshot is None
+        assert replayed.entries == [b"u0", b"u1", b"u2", b"u3", b"u4"]
+        assert not replayed.corrupt and not replayed.truncated
+
+    def test_snapshot_compacts_wal(self):
+        store = DurableStore(MemoryBackend())
+        for i in range(8):
+            store.append(f"u{i}".encode())
+        assert store.since_snapshot == 8
+        store.snapshot(b"STATE@8", epoch=8)
+        assert store.since_snapshot == 0
+        assert store.wal_bytes() == 0
+        store.append(b"u8")
+        replayed = store.replay()
+        assert replayed.snapshot == b"STATE@8"
+        assert replayed.epoch == 8
+        assert replayed.entries == [b"u8"]
+
+    def test_crash_between_snapshot_and_truncate_loses_nothing(self):
+        # Snapshot-then-truncate ordering: simulate the crash window by
+        # installing the snapshot blob without clearing the WAL.  Replay
+        # must return the new snapshot plus every entry — re-applying a
+        # few updates twice beats losing any.
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(b"u0")
+        store.append(b"u1")
+        backend.replace(SNAPSHOT_NAME, encode_snapshot(b"STATE@2", epoch=2))
+        replayed = store.replay()
+        assert replayed.snapshot == b"STATE@2"
+        assert replayed.entries == [b"u0", b"u1"]
+
+    def test_digest_covers_snapshot_and_entries(self):
+        a, b = DurableStore(MemoryBackend()), DurableStore(MemoryBackend())
+        for s in (a, b):
+            s.snapshot(b"base", epoch=1)
+            s.append(b"u0")
+        assert a.digest() == b.digest()
+        b.append(b"u1")
+        assert a.digest() != b.digest()
+
+    def test_replay_tolerates_damaged_suffix(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(b"good")
+        wal = bytearray(backend.read(WAL_NAME))
+        wal.extend(encode_record(b"evil"))
+        wal[-2] ^= 0xFF  # corrupt the second record's payload
+        backend.replace(WAL_NAME, bytes(wal))
+        replayed = store.replay()
+        assert replayed.entries == [b"good"]
+        assert replayed.corrupt == 1
+
+
+class TestMemoryStoreDomain:
+    def test_keyed_by_node_and_namespace(self):
+        domain = MemoryStoreDomain()
+        domain.store("a", "x").append(b"ax")
+        domain.store("a", "y").append(b"ay")
+        domain.store("b", "x").append(b"bx")
+        # A fresh handle for the same key sees the same backend.
+        assert domain.store("a", "x").replay().entries == [b"ax"]
+        assert domain.stores() == [("a", "x"), ("a", "y"), ("b", "x")]
+
+    def test_wipe_is_per_node(self):
+        domain = MemoryStoreDomain()
+        domain.store("a", "x").append(b"ax")
+        domain.store("b", "x").append(b"bx")
+        domain.wipe("a")
+        assert domain.store("a", "x").replay().entries == []
+        assert domain.store("b", "x").replay().entries == [b"bx"]
+
+
+class TestFileStoreDomain:
+    def test_layout_and_persistence_across_domains(self, tmp_path):
+        root = str(tmp_path / "store")
+        domain = FileStoreDomain(root=root)
+        store = domain.store("n1", "rdict.grp")
+        store.append(b"u0")
+        store.snapshot(b"STATE", epoch=1)
+        store.append(b"u1")
+        assert os.path.exists(
+            os.path.join(root, "n1", "rdict.grp", "wal.log")
+        )
+        # A second domain over the same root finds the same state —
+        # this is what survives a whole-process restart.
+        again = FileStoreDomain(root=root).store("n1", "rdict.grp")
+        replayed = again.replay()
+        assert replayed.snapshot == b"STATE"
+        assert replayed.entries == [b"u1"]
+
+    def test_hostile_names_are_sanitized(self, tmp_path):
+        root = str(tmp_path / "store")
+        domain = FileStoreDomain(root=root)
+        domain.store("../../evil", "ns/../up").append(b"u")
+        # Nothing escaped the root: the hostile separators were
+        # flattened into plain directory names.
+        assert not os.path.exists(str(tmp_path.parent / "evil"))
+        for dirpath, _dirs, _files in os.walk(root):
+            assert os.path.realpath(dirpath).startswith(
+                os.path.realpath(root)
+            )
+        assert os.sep not in "".join(os.listdir(root))
+
+    def test_ephemeral_domain_cleans_up(self):
+        domain = FileStoreDomain()
+        domain.store("n", "ns").append(b"u")
+        root = domain.root
+        assert os.path.exists(root)
+        domain.close()
+        assert not os.path.exists(root)
+
+    def test_wipe_removes_node_directory(self, tmp_path):
+        domain = FileStoreDomain(root=str(tmp_path / "s"))
+        domain.store("n1", "ns").append(b"u")
+        domain.wipe("n1")
+        assert domain.store("n1", "ns").replay().entries == []
+
+
+class TestInspect:
+    def test_render_marks_damage(self, tmp_path):
+        root = str(tmp_path / "store")
+        domain = FileStoreDomain(root=root)
+        store = domain.store("n1", "ns")
+        store.append(b"hello")
+        store.append(b"world")
+        path = os.path.join(root, "n1", "ns")
+        wal_path = os.path.join(path, "wal.log")
+        with open(wal_path, "r+b") as fh:
+            data = bytearray(fh.read())
+            data[-1] ^= 0xFF  # corrupt the last record
+            fh.seek(0)
+            fh.write(data)
+        rendered = render_store(path)
+        assert "crc=ok" in rendered and "hello" in rendered
+        assert "CRC MISMATCH" in rendered
+        assert "never replayed" in rendered
