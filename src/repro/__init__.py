@@ -51,6 +51,7 @@ from repro.core import (
     Downcall,
     DowncallType,
     Endpoint,
+    FlowVerdict,
     GroupHandle,
     Layer,
     LayerContext,
@@ -105,6 +106,7 @@ __all__ = [
     "EndpointAddress",
     "FaultModel",
     "FaultPlane",
+    "FlowVerdict",
     "GroupAddress",
     "GroupHandle",
     "Layer",

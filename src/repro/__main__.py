@@ -15,7 +15,13 @@ Commands:
   failing scenarios are greedily shrunk to minimal repro timelines.
   ``--stateful`` runs durable replicated-dict clients with
   ``stateful=True`` recovery and the state-convergence check;
-  ``--store-dir`` keeps the WALs on disk for inspection.
+  ``--store-dir`` keeps the WALs on disk for inspection; ``--overload``
+  widens the op palette with slow receivers, fan-in storms, and WAN
+  squeezes against the CREDIT overload stack.
+* ``load --senders 4 --rate 200 --duration 5`` — open-loop load
+  generation against a CREDIT stack with an SLO-style report: goodput,
+  p50/p99 latency, shed/block verdicts, queue and NAK-buffer
+  high-water marks.  Seeded and reproducible on the DES.
 * ``store-inspect PATH`` — human-readable dump of a durable store
   (snapshot header + WAL records, with CRC verdicts); ``PATH`` is one
   store directory or any ancestor (all stores underneath are shown).
@@ -130,12 +136,16 @@ def _cmd_obs_report(args) -> int:
     if args.network or args.network_only:
         sections.append(render_network_report(snapshot))
     if not args.network_only:
-        from repro.obs import render_store_report
+        from repro.obs import render_flow_report, render_store_report
 
         try:
             sections.append(render_store_report(snapshot))
         except ConfigurationError:
             pass  # no store/xfer series in this snapshot
+        try:
+            sections.append(render_flow_report(snapshot))
+        except ConfigurationError:
+            pass  # no flow-control series in this snapshot
     try:
         print("\n\n".join(sections))
     except BrokenPipeError:
@@ -172,6 +182,7 @@ def _cmd_chaos(args) -> int:
                 profile=args.substrate if args.substrate in ("sim", "realtime")
                 else "sim",
                 stateful=args.stateful,
+                overload=args.overload,
             )
             for index in range(args.scenarios)
         ]
@@ -230,6 +241,44 @@ def _cmd_chaos(args) -> int:
             fh.write("\n")
         print(f"report written to {args.report}")
     return 1 if failures else 0
+
+
+def _cmd_load(args) -> int:
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.flow import LoadConfig, run_load
+
+    config = LoadConfig(
+        senders=args.senders,
+        rate=args.rate,
+        size=args.size,
+        duration=args.duration,
+        seed=args.seed,
+        substrate=args.substrate,
+        stack=args.stack,
+        window=args.window,
+        manager=args.manager,
+        max_queue=args.max_queue,
+        shed_policy=args.shed_policy,
+        consume_rate=args.consume_rate,
+    )
+    try:
+        report = run_load(config, metrics_out=args.metrics_out)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = report.render()
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            if args.output.endswith(".json"):
+                json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            else:
+                fh.write(rendered + "\n")
+        print(f"report written to {args.output}")
+    return 0
 
 
 def _cmd_store_inspect(args) -> int:
@@ -315,6 +364,49 @@ def main(argv: List[str] = None) -> int:
     chaos.add_argument("--report", default=None, metavar="PATH",
                        help="write a JSON soak report (always written, "
                             "pass or fail)")
+    chaos.add_argument("--overload", action="store_true",
+                       help="widen the op palette with slow_receiver / "
+                            "fanin_storm / wan_squeeze against the "
+                            "CREDIT overload stack")
+    load = sub.add_parser(
+        "load", help="open-loop load generation with an SLO-style report"
+    )
+    load.add_argument("--senders", type=int, default=4,
+                      help="producer nodes fanning into one receiver")
+    load.add_argument("--rate", type=float, default=200.0,
+                      help="per-sender offered arrival rate (msg/s)")
+    load.add_argument("--size", type=int, default=256,
+                      help="payload size in bytes")
+    load.add_argument("--duration", type=float, default=5.0,
+                      help="storm length in seconds")
+    load.add_argument("--seed", type=int, default=0,
+                      help="world seed; pins the whole report on the DES")
+    load.add_argument("--substrate", default="sim",
+                      choices=["sim", "realtime"])
+    load.add_argument("--stack", default=None,
+                      help="explicit stack spec (default: a CREDIT stack "
+                           "built from --window/--manager/--max-queue/"
+                           "--shed-policy)")
+    load.add_argument("--window", type=int, default=16384,
+                      help="CREDIT per-flow window in bytes")
+    load.add_argument("--manager", default="fixed",
+                      choices=["fixed", "aimd", "paced"],
+                      help="CREDIT window-manager kind")
+    load.add_argument("--max-queue", type=int, default=64,
+                      help="CREDIT bounded send-queue capacity")
+    load.add_argument("--shed-policy", default="block",
+                      choices=["block", "drop_newest", "drop_oldest"])
+    load.add_argument("--consume-rate", type=float, default=None,
+                      metavar="BPS",
+                      help="receiver consumption rate in bytes/s "
+                           "(makes it the slow receiver; default: "
+                           "keeps up)")
+    load.add_argument("--output", default=None, metavar="PATH",
+                      help="also write the report to PATH (.json for "
+                           "the structured form)")
+    load.add_argument("--metrics-out", default=None, metavar="PATH",
+                      help="write the observability snapshot (flow_* "
+                           "series included) for `obs-report`")
     inspect = sub.add_parser(
         "store-inspect",
         help="human-readable dump of durable-store WALs and snapshots",
@@ -330,6 +422,7 @@ def main(argv: List[str] = None) -> int:
         "demo": _cmd_demo,
         "obs-report": _cmd_obs_report,
         "chaos": _cmd_chaos,
+        "load": _cmd_load,
         "store-inspect": _cmd_store_inspect,
     }
     return handlers[args.command](args)

@@ -24,15 +24,19 @@ from repro.chaos.generator import generate_scenario
 from repro.chaos.runner import DEFAULT_CHECKS, ScenarioResult, ScenarioRunner
 from repro.chaos.scenario import (
     DEFAULT_CHAOS_STACK,
+    OVERLOAD_CHAOS_STACK,
     STATEFUL_CHAOS_STACK,
     ChaosOp,
     Crash,
+    FaninStorm,
     Heal,
     InjectLoad,
     Partition,
     Recover,
     Scenario,
     SetFaults,
+    SlowReceiver,
+    WanSqueeze,
     load_scenarios,
     op_from_dict,
     scenario_from_dict,
@@ -44,9 +48,11 @@ __all__ = [
     "DEFAULT_CHECKS",
     "ChaosOp",
     "Crash",
+    "FaninStorm",
     "FaultPlane",
     "Heal",
     "InjectLoad",
+    "OVERLOAD_CHAOS_STACK",
     "Partition",
     "Recover",
     "STATEFUL_CHAOS_STACK",
@@ -55,6 +61,8 @@ __all__ = [
     "ScenarioRunner",
     "SetFaults",
     "ShrinkReport",
+    "SlowReceiver",
+    "WanSqueeze",
     "generate_scenario",
     "load_scenarios",
     "op_from_dict",

@@ -27,15 +27,19 @@ from typing import List
 
 from repro.chaos.scenario import (
     DEFAULT_CHAOS_STACK,
+    OVERLOAD_CHAOS_STACK,
     STATEFUL_CHAOS_STACK,
     ChaosOp,
     Crash,
+    FaninStorm,
     Heal,
     InjectLoad,
     Partition,
     Recover,
     Scenario,
     SetFaults,
+    SlowReceiver,
+    WanSqueeze,
 )
 
 #: Per-profile pacing: (min duration, max duration, settle, max ops).
@@ -56,6 +60,13 @@ _FAULT_PALETTES = (
 )
 
 
+#: Extra op kinds the rng may draw in overload mode.  Kept out of the
+#: base palette so existing ``(seed, index)`` timelines — and the soak
+#: digests checked in against them — stay byte-identical unless the
+#: caller opts in with ``overload=True``.
+_OVERLOAD_KINDS = ("slow_receiver", "fanin_storm", "wan_squeeze")
+
+
 def generate_scenario(
     seed: int,
     index: int,
@@ -63,6 +74,7 @@ def generate_scenario(
     stack: str = DEFAULT_CHAOS_STACK,
     profile: str = "sim",
     stateful: bool = False,
+    overload: bool = False,
 ) -> Scenario:
     """Deterministically generate scenario ``index`` of a soak.
 
@@ -71,11 +83,21 @@ def generate_scenario(
     :data:`~repro.chaos.scenario.STATEFUL_CHAOS_STACK` so the stack
     carries TOTAL + XFER.  The op timeline is unchanged — the same
     ``(seed, index)`` yields the same storm either way.
+
+    ``overload=True`` widens the op palette with the overload plane
+    (``slow_receiver``, ``fanin_storm``, ``wan_squeeze``) so storms
+    compose with crashes and partitions, guarantees at least one
+    slow-receiver + fan-in pair, and (when ``stack`` was left at the
+    default) swaps in :data:`~repro.chaos.scenario.OVERLOAD_CHAOS_STACK`
+    so CREDIT is there to absorb it.  Overload timelines are their own
+    deterministic family — same ``(seed, index, overload)``, same storm.
     """
     if profile not in _PROFILES:
         raise ValueError(f"unknown chaos profile {profile!r}")
     if stateful and stack == DEFAULT_CHAOS_STACK:
         stack = STATEFUL_CHAOS_STACK
+    if overload and stack == DEFAULT_CHAOS_STACK:
+        stack = OVERLOAD_CHAOS_STACK
     from repro.sim.rand import derive_seed
 
     rng = random.Random(derive_seed(seed, f"chaos.gen.{index}"))
@@ -88,13 +110,15 @@ def generate_scenario(
     partitioned = False
     max_dead = (nodes - 1) // 2  # keep a primary component possible
 
+    palette = ("crash", "recover", "partition", "heal", "set_faults",
+               "load", "load")
+    if overload:
+        palette = palette + _OVERLOAD_KINDS
+
     n_ops = rng.randint(3, max_ops)
     for _ in range(n_ops):
         at = round(rng.uniform(0.2, duration * 0.8), 2)
-        kind = rng.choice(
-            ("crash", "recover", "partition", "heal", "set_faults",
-             "load", "load")
-        )
+        kind = rng.choice(palette)
         if kind == "crash" and len(dead) < max_dead:
             victim = rng.choice([n for n in names if n not in dead])
             dead.add(victim)
@@ -118,8 +142,25 @@ def generate_scenario(
             ops.append(Heal(at=at))
             partitioned = False
         elif kind == "set_faults":
-            palette = rng.choice(_FAULT_PALETTES)
-            ops.append(SetFaults.of(at, **palette))
+            faults = rng.choice(_FAULT_PALETTES)
+            ops.append(SetFaults.of(at, **faults))
+        elif kind == "slow_receiver":
+            live = [n for n in names if n not in dead] or list(names)
+            ops.append(SlowReceiver(
+                at=at,
+                node=rng.choice(live),
+                rate=float(rng.choice((2048, 4096, 8192))),
+            ))
+        elif kind == "fanin_storm":
+            live = [n for n in names if n not in dead] or list(names)
+            ops.append(FaninStorm(
+                at=at,
+                target=rng.choice(live),
+                count=rng.randint(10, 30),
+                size=rng.choice((64, 256, 1024)),
+            ))
+        elif kind == "wan_squeeze":
+            ops.append(WanSqueeze(at=at))
         else:
             # Load from a node that is up at generation time, so every
             # scenario actually gives the checkers messages to judge.
@@ -135,6 +176,19 @@ def generate_scenario(
         ops.append(InjectLoad(
             at=round(duration * 0.5, 2), node=names[0], count=4, size=64
         ))
+    if overload:
+        # Every overload storm carries at least one slow-receiver +
+        # fan-in pair aimed at the same node — the canonical squeeze.
+        target = rng.choice(list(names))
+        if not any(isinstance(op, SlowReceiver) for op in ops):
+            ops.append(SlowReceiver(
+                at=round(duration * 0.25, 2), node=target, rate=4096.0
+            ))
+        if not any(isinstance(op, FaninStorm) for op in ops):
+            ops.append(FaninStorm(
+                at=round(duration * 0.4, 2), target=target,
+                count=rng.randint(10, 30), size=256,
+            ))
 
     return Scenario(
         name=f"s{seed}-{index}",

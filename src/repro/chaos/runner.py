@@ -46,13 +46,17 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro.chaos.scenario import (
     ChaosOp,
     Crash,
+    FaninStorm,
     Heal,
     InjectLoad,
     Partition,
     Recover,
     Scenario,
     SetFaults,
+    SlowReceiver,
+    WanSqueeze,
 )
+from repro.core.events import FlowVerdict
 from repro.errors import VerificationError
 from repro.verify import (
     CrashSilenceSpec,
@@ -294,6 +298,10 @@ class ScenarioRunner:
         # re-join every crashed node.
         world.heal()
         world.set_faults(None)
+        for node, per_node in handles.items():
+            if per_node and not per_node[-1].left and world.node_alive(node):
+                for layer in per_node[-1].focus_all("CREDIT"):
+                    layer.set_consume_rate(None)
         for node in sorted(crashed):
             world.recover(node, stateful=stateful)
             join(node)
@@ -361,11 +369,53 @@ class ScenarioRunner:
             world.heal()
         elif isinstance(op, SetFaults):
             world.set_faults(op.model())
+        elif isinstance(op, WanSqueeze):
+            world.set_faults(op.model())
         elif isinstance(op, InjectLoad):
             self._inject_load(world, op, scenario, handles, clients,
                               sent_by, result)
+        elif isinstance(op, SlowReceiver):
+            self._slow_receiver(world, op, handles)
+        elif isinstance(op, FaninStorm):
+            self._fanin_storm(world, op, scenario, handles, sent_by, result)
         else:  # pragma: no cover - scenario.py and this dispatch co-evolve
             raise ValueError(f"runner cannot apply op kind {op.kind!r}")
+
+    @staticmethod
+    def _slow_receiver(
+        world, op: SlowReceiver, handles: Dict[str, List[Any]]
+    ) -> None:
+        """Throttle the node's CREDIT consumption (no-op without CREDIT —
+        which is the point of the legacy-FLOW comparison scenarios)."""
+        if not handles[op.node] or not world.node_alive(op.node):
+            return
+        handle = handles[op.node][-1]
+        for layer in handle.focus_all("CREDIT"):
+            layer.set_consume_rate(op.rate if op.rate > 0 else None)
+
+    def _fanin_storm(
+        self,
+        world,
+        op: FaninStorm,
+        scenario: Scenario,
+        handles: Dict[str, List[Any]],
+        sent_by: Dict[str, List[bytes]],
+        result: ScenarioResult,
+    ) -> None:
+        """Converge ``count`` casts from every live node onto the group
+        (the target itself stays quiet — it is the one being stormed)."""
+        for node in scenario.nodes:
+            if node == op.target or not handles[node]:
+                continue
+            handle = handles[node][-1]
+            if handle.left or not world.node_alive(node):
+                result.casts_skipped += op.count
+                continue
+            for _ in range(op.count):
+                stamp = f"{scenario.name}|{node}|{self._cast_seq}|".encode()
+                self._cast_seq += 1
+                payload = (stamp + b"." * op.size)[: max(op.size, len(stamp))]
+                self._cast_recorded(handle, payload, sent_by, result)
 
     def _inject_load(
         self,
@@ -390,27 +440,50 @@ class ScenarioRunner:
         for _ in range(op.count):
             stamp = f"{scenario.name}|{op.node}|{self._cast_seq}|".encode()
             self._cast_seq += 1
-            try:
-                if client is not None:
-                    # Stateful load: a replicated write under a unique
-                    # key.  Keys never collide, so set ops commute and
-                    # the converged digests are storm-order-independent.
+            if client is not None:
+                # Stateful load: a replicated write under a unique
+                # key.  Keys never collide, so set ops commute and
+                # the converged digests are storm-order-independent.
+                try:
                     payload = client.set(
                         stamp.decode("utf-8"), "." * op.size
                     )
-                else:
-                    payload = (
-                        stamp + b"." * op.size
-                    )[: max(op.size, len(stamp))]
-                    handle.cast(payload)
-            except Exception:
-                # A node in a blocked minority or mid-leave may refuse;
-                # chaos shrugs — the skip count keeps the books honest.
-                result.casts_skipped += 1
+                except Exception:
+                    # A node in a blocked minority or mid-leave may
+                    # refuse; chaos shrugs — the skip count keeps the
+                    # books honest.
+                    result.casts_skipped += 1
+                    continue
+                sent_by[str(handle.endpoint_address)].append(payload)
+                result.casts_sent += 1
+                load_hist.observe(float(len(payload)))
                 continue
-            sent_by[str(handle.endpoint_address)].append(payload)
-            result.casts_sent += 1
-            load_hist.observe(float(len(payload)))
+            payload = (stamp + b"." * op.size)[: max(op.size, len(stamp))]
+            if self._cast_recorded(handle, payload, sent_by, result):
+                load_hist.observe(float(len(payload)))
+
+    def _cast_recorded(
+        self,
+        handle,
+        payload: bytes,
+        sent_by: Dict[str, List[bytes]],
+        result: ScenarioResult,
+    ) -> bool:
+        """Cast ``payload`` and record it in the FIFO oracle only if the
+        flow verdict says it will actually be sent.  A SHED/BLOCKED cast
+        is a *refusal*, not a loss — recording it would make the gapless
+        FIFO checker demand delivery of a message that never left."""
+        try:
+            verdict = handle.cast(payload)
+        except Exception:
+            result.casts_skipped += 1
+            return False
+        if verdict in (FlowVerdict.SHED, FlowVerdict.BLOCKED):
+            result.casts_skipped += 1
+            return False
+        sent_by[str(handle.endpoint_address)].append(payload)
+        result.casts_sent += 1
+        return True
 
     # ------------------------------------------------------------------
     # Verification and accounting

@@ -38,6 +38,15 @@ DEFAULT_CHAOS_STACK = "MBRSHIP:FRAG:NAK:CHKSUM:COM"
 #: XFER on top (so recovered nodes catch the delta their WAL missed).
 STATEFUL_CHAOS_STACK = "XFER:TOTAL:MBRSHIP:FRAG:NAK:CHKSUM:COM"
 
+#: The stack overload scenarios exercise: the default chaos stack with
+#: CREDIT on top, so fan-in storms and slow receivers meet bounded
+#: queues and receiver-granted windows instead of unbounded FIFOs.
+#: ``shed_policy=block`` keeps the FIFO oracle intact (a blocked cast is
+#: never sent, so it is simply not recorded as offered).
+OVERLOAD_CHAOS_STACK = (
+    "CREDIT(window=8192,max_queue=64):MBRSHIP:FRAG:NAK:CHKSUM:COM"
+)
+
 
 @dataclass(frozen=True)
 class ChaosOp:
@@ -133,9 +142,67 @@ class InjectLoad(ChaosOp):
     kind = "inject_load"
 
 
+@dataclass(frozen=True)
+class SlowReceiver(ChaosOp):
+    """Throttle ``node``'s application consumption to ``rate`` bytes/s.
+
+    Turns the node into the slow receiver of a fan-in storm via the
+    CREDIT layer's ``set_consume_rate``; ``rate=0`` restores instant
+    consumption.  A no-op on stacks without a CREDIT layer (the legacy
+    failure mode the regression tests pin).
+    """
+
+    node: str = ""
+    rate: float = 4096.0
+    kind = "slow_receiver"
+
+
+@dataclass(frozen=True)
+class FaninStorm(ChaosOp):
+    """Every live node except ``target`` casts ``count`` messages.
+
+    The complement of :class:`InjectLoad`: load converges *on* a node
+    instead of radiating from one, which is what exercises per-group
+    windows (the slowest receiver gates every sender).
+    """
+
+    target: str = ""
+    count: int = 20
+    size: int = 256
+    kind = "fanin_storm"
+
+
+@dataclass(frozen=True)
+class WanSqueeze(ChaosOp):
+    """Swap in a narrow, jittery WAN-like fault model.
+
+    A convenience over :class:`SetFaults` with a palette tuned to
+    squeeze flow control rather than break reliability: high latency
+    and reordering, mild loss.
+    """
+
+    base_delay: float = 0.08
+    jitter: float = 0.04
+    loss_rate: float = 0.02
+    reorder_rate: float = 0.2
+    reorder_delay: float = 0.05
+    kind = "wan_squeeze"
+
+    def model(self) -> FaultModel:
+        """The :class:`FaultModel` this op installs."""
+        return FaultModel(
+            base_delay=self.base_delay,
+            jitter=self.jitter,
+            loss_rate=self.loss_rate,
+            reorder_rate=self.reorder_rate,
+            reorder_delay=self.reorder_delay,
+        )
+
+
 _OP_KINDS: Dict[str, Type[ChaosOp]] = {
     cls.kind: cls
-    for cls in (Crash, Recover, Partition, Heal, SetFaults, InjectLoad)
+    for cls in (Crash, Recover, Partition, Heal, SetFaults, InjectLoad,
+                SlowReceiver, FaninStorm, WanSqueeze)
 }
 
 

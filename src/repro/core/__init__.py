@@ -20,6 +20,7 @@ from repro.core.endpoint import DEFAULT_STACK, Endpoint
 from repro.core.events import (
     Downcall,
     DowncallType,
+    FlowVerdict,
     Upcall,
     UpcallType,
     cast_down,
@@ -54,6 +55,7 @@ __all__ = [
     "DeliveredMessage",
     "Downcall",
     "DowncallType",
+    "FlowVerdict",
     "Endpoint",
     "GroupHandle",
     "GuardedScheduler",

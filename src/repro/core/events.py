@@ -44,6 +44,22 @@ class DowncallType(enum.Enum):
     DUMP = "dump"  # dump layer information
 
 
+class FlowVerdict(enum.Enum):
+    """Outcome of a CAST/SEND downcall under flow control.
+
+    Not a new HCPI call — Tables 1 and 2 are the paper's frozen
+    vocabulary — but a verdict a flow-control layer stamps into
+    ``Downcall.extra["flow_verdict"]`` on the way down, so backpressure
+    propagates up to the caller instead of vanishing into an unbounded
+    queue.  :meth:`~repro.core.group.GroupHandle.cast` returns it.
+    """
+
+    ACCEPTED = "accepted"  # charged and passed down immediately
+    QUEUED = "queued"  # held in the bounded queue awaiting credit
+    SHED = "shed"  # dropped by the shed policy (will never be sent)
+    BLOCKED = "blocked"  # refused outright; the caller should retry later
+
+
 class UpcallType(enum.Enum):
     """Table 2: the complete HCPI upcall set."""
 

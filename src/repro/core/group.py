@@ -13,7 +13,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional
 
-from repro.core.events import Downcall, DowncallType, Upcall, UpcallType
+from repro.core.events import (
+    Downcall,
+    DowncallType,
+    FlowVerdict,
+    Upcall,
+    UpcallType,
+)
 from repro.core.message import Message
 from repro.core.stack import Stack
 from repro.core.view import View
@@ -106,25 +112,39 @@ class GroupHandle:
     # Downcalls (Table 1, application side)
     # ------------------------------------------------------------------
 
-    def cast(self, data: bytes, **info: Any) -> None:
+    def cast(self, data: bytes, **info: Any) -> Optional[FlowVerdict]:
         """Multicast ``data`` to the group's current view.
 
         Extra keyword arguments ride down with the call for layers that
         understand them (e.g. ``priority=3`` for a PRIO layer).
+
+        Returns the :class:`~repro.core.events.FlowVerdict` stamped by a
+        flow-control layer (``None`` when no such layer is stacked).
+        A ``SHED``/``BLOCKED`` verdict means the message will not be
+        sent; the caller decides whether to retry, back off, or drop.
         """
         self._check_open()
         message = Message(bytes(data))
-        self.stack.down(Downcall(DowncallType.CAST, message=message, extra=info))
+        downcall = Downcall(DowncallType.CAST, message=message, extra=info)
+        self.stack.down(downcall)
+        return downcall.extra.get("flow_verdict")
 
-    def send(self, members: List[EndpointAddress], data: bytes) -> None:
-        """Send ``data`` to a subset of the view."""
+    def send(
+        self, members: List[EndpointAddress], data: bytes
+    ) -> Optional[FlowVerdict]:
+        """Send ``data`` to a subset of the view.
+
+        Returns the flow verdict, like :meth:`cast`.
+        """
         self._check_open()
         if not members:
             raise GroupError("send needs at least one destination")
         message = Message(bytes(data))
-        self.stack.down(
-            Downcall(DowncallType.SEND, message=message, members=list(members))
+        downcall = Downcall(
+            DowncallType.SEND, message=message, members=list(members)
         )
+        self.stack.down(downcall)
+        return downcall.extra.get("flow_verdict")
 
     def ack(self, delivered: DeliveredMessage) -> None:
         """Tell the stability layer this message ``has been processed``.

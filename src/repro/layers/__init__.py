@@ -20,7 +20,8 @@ it implements.  Layer names usable in stack specs:
 ``STABLE`` / ``PINWHEEL``  stability matrix, gossip / rotating slot
 ``MERGE``             automatic view merging
 ``CHKSUM`` ``SIGN`` ``CRYPT`` ``COMPRESS``  integrity/privacy/bandwidth
-``FLOW`` ``PRIO``     pacing / priority delivery
+``CREDIT``            credit-based flow control with backpressure
+``FLOW`` ``PRIO``     pacing (deprecated; see CREDIT) / priority delivery
 ``LOGGER`` ``TRACER`` ``ACCOUNT``  journaling / tracing / metering
 ``XFER``              state transfer to joiners (snapshot streaming)
 ====================  =================================================
@@ -35,6 +36,7 @@ from repro.layers.causal import CausalOrderLayer, CausalTimestampLayer
 from repro.layers.chksum import ChecksumLayer
 from repro.layers.com import ComLayer
 from repro.layers.compress import CompressionLayer
+from repro.layers.credit import CreditLayer
 from repro.layers.crypt import EncryptionLayer
 from repro.layers.flowctl import FlowControlLayer
 from repro.layers.flush import FlushLayer
@@ -69,6 +71,7 @@ __all__ = [
     "ChecksumLayer",
     "ComLayer",
     "CompressionLayer",
+    "CreditLayer",
     "EncryptionLayer",
     "FlowControlLayer",
     "FlushLayer",

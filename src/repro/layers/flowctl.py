@@ -1,5 +1,14 @@
 """FLOW — flow control "preventing network congestion" (Figure 1).
 
+.. deprecated::
+    FLOW is a *one-sided* token bucket: the sender paces itself with an
+    **unbounded** FIFO, so a fan-in storm or a slow receiver balloons
+    this queue and the NAK retransmission buffers below it.  Use the
+    credit-based :class:`~repro.layers.credit.CreditLayer` (``CREDIT``)
+    instead — receiver-granted windows, bounded queues, and real
+    backpressure.  This layer remains for compatibility and emits a
+    :class:`DeprecationWarning` on construction.
+
 A token-bucket pacer on outgoing casts and sends: up to ``burst``
 messages may leave back-to-back; sustained throughput is capped at
 ``rate`` messages per second, with the excess queued in FIFO order.
@@ -9,8 +18,9 @@ an observable queue depth (the ``dump`` downcall reports it).
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from typing import Deque
+from typing import Deque, Optional
 
 from repro.core.events import Downcall, DowncallType
 from repro.core.layer import Layer
@@ -19,7 +29,7 @@ from repro.core.stack import register_layer
 
 @register_layer
 class FlowControlLayer(Layer):
-    """Token-bucket pacing of outgoing traffic.
+    """Token-bucket pacing of outgoing traffic (deprecated; see CREDIT).
 
     Config:
         rate (float): sustained messages/second (default 1000.0).
@@ -30,12 +40,23 @@ class FlowControlLayer(Layer):
 
     def __init__(self, context, **config) -> None:
         super().__init__(context, **config)
+        warnings.warn(
+            "the FLOW layer (one-sided token bucket, unbounded queue) is "
+            "deprecated; stack CREDIT for receiver-granted credit flow "
+            "control with bounded queues and backpressure",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.rate = float(config.get("rate", 1000.0))
         self.burst = int(config.get("burst", 32))
         if self.rate <= 0 or self.burst < 1:
             raise ValueError("rate must be positive and burst at least 1")
         self._tokens = float(self.burst)
-        self._last_refill = 0.0
+        # Lazy epoch: ``None`` until the first refill reads ``self.now``.
+        # Starting at 0.0 made the first refill on the realtime substrate
+        # measure time since the *clock's* epoch, silently refilling the
+        # bucket by (rate x uptime) tokens.
+        self._last_refill: Optional[float] = None
         self._queue: Deque[Downcall] = deque()
         self._drain_scheduled = False
         self.paced = 0
@@ -62,6 +83,8 @@ class FlowControlLayer(Layer):
 
     def _refill(self) -> None:
         now = self.now
+        if self._last_refill is None:
+            self._last_refill = now
         self._tokens = min(
             float(self.burst), self._tokens + (now - self._last_refill) * self.rate
         )

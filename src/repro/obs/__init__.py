@@ -40,6 +40,7 @@ from repro.obs.registry import (
     TIME_BUCKETS,
 )
 from repro.obs.report import (
+    render_flow_report,
     render_layer_report,
     render_network_report,
     render_store_report,
@@ -106,6 +107,7 @@ __all__ = [
     "TIME_BUCKETS",
     "parse_prometheus",
     "read_jsonl",
+    "render_flow_report",
     "render_jsonl",
     "render_layer_report",
     "render_network_report",

@@ -181,6 +181,42 @@ def render_store_report(snapshot: Dict[str, Any]) -> str:
     )
 
 
+def render_flow_report(snapshot: Dict[str, Any]) -> str:
+    """Flow-control series (flow_*): credit outstanding, shed/block
+    counts, queue high-water marks, grant traffic.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the snapshot
+    has none — the caller can then simply omit the section (a run
+    without a CREDIT layer has nothing to report).
+    """
+    rows: List[List[Any]] = []
+    for record in snapshot.get("metrics", []):
+        name = record["name"]
+        if not name.startswith("flow_"):
+            continue
+        labels = record.get("labels", {})
+        if record.get("type") == "histogram":
+            mean = record["sum"] / record["count"] if record["count"] else 0.0
+            if name.endswith("_seconds"):
+                shown = _fmt_seconds(mean)
+            else:
+                shown = f"{mean:.0f}B"
+            value = f"n={record['count']} mean={shown}"
+        else:
+            value = int(record["value"])
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        rows.append([name, label_text, value])
+    if not rows:
+        raise ConfigurationError(
+            "snapshot has no flow_* series; was a CREDIT layer stacked "
+            "during the run?"
+        )
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return "flow (credit & overload):\n" + _table(
+        ["metric", "labels", "value"], rows
+    )
+
+
 def render_network_report(snapshot: Dict[str, Any]) -> str:
     """Counters of every network/transport component in the snapshot."""
     rows: List[List[Any]] = []

@@ -36,6 +36,7 @@ DEFAULT_COSTS: Dict[str, float] = {
     "CRYPT": 3.0,
     "COMPRESS": 2.0,
     "FLOW": 1.5,
+    "CREDIT": 2.0,
     "PRIO": 1.5,
     "LOGGER": 2.0,
     "TRACER": 0.5,

@@ -254,7 +254,16 @@ register_profile(
         "FLOW",
         requires=frozenset(),
         provides=frozenset(),
-        purpose="window-based flow control",
+        purpose="token-bucket pacing (deprecated; prefer CREDIT)",
+    )
+)
+register_profile(
+    LayerProfile(
+        "CREDIT",
+        requires=frozenset(),
+        provides=frozenset(),
+        purpose="credit-based flow control: receiver-granted windows, "
+        "bounded queues, backpressure verdicts",
     )
 )
 register_profile(
