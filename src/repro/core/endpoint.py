@@ -24,6 +24,7 @@ from repro.core.layer import LayerContext
 from repro.core.stack import Stack, StackConfig
 from repro.obs import ObsOptions
 from repro.core.view import View
+from repro.core.headers import HeaderTableStore
 from repro.errors import EndpointError, HeaderError
 from repro.net.address import EndpointAddress, GroupAddress
 from repro.net.packet import Packet
@@ -51,6 +52,9 @@ class Endpoint:
         self.undecodable_packets = 0
         #: Packets for groups this endpoint has not joined.
         self.misrouted_packets = 0
+        #: Receiver-side header-table state, one per endpoint so each
+        #: receiver's channel tables depend only on the datagrams it saw.
+        self._header_tables = HeaderTableStore()
         process.world.network.attach(address, self._on_packet)
 
     # ------------------------------------------------------------------
@@ -148,13 +152,31 @@ class Endpoint:
             return
         world = self.process.world
         try:
-            message = world.registry.unmarshal(packet.payload)
+            # Clean packets take the lazy zero-copy path: structure is
+            # validated here, headers decode as their layers pop them.
+            # Known-garbled packets (the DES fault model marks them) go
+            # through the eager path so a value-level decode error still
+            # surfaces — and drops the packet — right here at the demux,
+            # exactly as before laziness existed.
+            message = world.registry.unmarshal(
+                packet.payload,
+                lazy=not packet.garbled,
+                tables=self._header_tables,
+            )
         except HeaderError:
             # Garbled beyond parsing; without a checksum layer this is
             # all the protection there is (the paper's Section 2 point).
             self.undecodable_packets += 1
             return
-        bottom = message.peek_header()
+        try:
+            # On the lazy path this decodes the bottom header; a
+            # value-level failure (or a table reference whose install
+            # datagram was lost) surfaces here and drops the packet,
+            # the same outcome the eager path produces above.
+            bottom = message.peek_header()
+        except HeaderError:
+            self.undecodable_packets += 1
+            return
         group_name = None
         if bottom is not None:
             group_name = bottom.get("group")

@@ -79,7 +79,7 @@ class UpcallType(enum.Enum):
     EXIT = "exit"  # close down event
 
 
-@dataclass
+@dataclass(slots=True)
 class Downcall:
     """One downcall travelling toward the network.
 
@@ -104,7 +104,7 @@ class Downcall:
         return f"<Downcall {' '.join(bits)}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class Upcall:
     """One upcall travelling toward the application."""
 

@@ -15,8 +15,19 @@ implement both strategies so the trade-off can be measured:
 * ``aligned`` — each header is encoded independently and padded to a
   32-bit boundary (the paper's production scheme).
 * ``compact`` — headers are concatenated with no padding.
-* :func:`packed_bit_size` — the analytic size of the paper's proposed
-  precomputed bit-packed header, for the Section 10 benchmark.
+* ``packed`` — one bit-compacted header block (the Section 10 proposal
+  made executable; :func:`packed_bit_size` is its analytic size).
+* ``table`` — HPACK-style header-table compression: a per-channel
+  dynamic table indexes repetitive per-flow values (sender and group
+  addresses, flow ids) so steady-state messages carry small table
+  references and varint/delta-coded integers instead of full fields.
+
+Receive-side cost is bounded by *lazy unmarshalling*: for the framed
+modes (everything but ``packed``) :meth:`HeaderRegistry.unmarshal` can
+validate the datagram's structure once and push lazy ``(codec, offset,
+length)`` windows onto the message, decoding a header only when its
+owning layer pops or peeks it and sharing the body as a ``memoryview``
+slice instead of a copied ``bytes``.
 """
 
 from __future__ import annotations
@@ -54,6 +65,11 @@ class BitWriter:
 
     def write_bytes(self, data: bytes) -> None:
         """Append raw bytes (bit-aligned, not byte-aligned)."""
+        if self._nbits == 0:
+            # Cursor on a byte boundary: one bulk extend instead of a
+            # shift-and-mask loop per byte.
+            self._out += data
+            return
         for byte in data:
             self.write(byte, 8)
 
@@ -99,6 +115,16 @@ class BitReader:
 
     def read_bytes(self, count: int) -> bytes:
         """Consume ``count`` bytes (bit-aligned)."""
+        if count <= 0:
+            return b""
+        if self._pos % 8 == 0:
+            # Cursor on a byte boundary: bulk-slice the backing buffer.
+            start = self._pos // 8
+            end = start + count
+            if end > len(self._data):
+                raise HeaderError("bit stream exhausted")
+            self._pos += count * 8
+            return bytes(self._data[start:end])
         return bytes(self.read(8) for _ in range(count))
 
     @property
@@ -456,6 +482,10 @@ GROUP = _Group()
 FieldSpec = Tuple[str, FieldType]
 
 
+def _bool_to_byte(value: Any) -> int:
+    return 1 if value else 0
+
+
 # ----------------------------------------------------------------------
 # Per-layer codec
 # ----------------------------------------------------------------------
@@ -489,34 +519,340 @@ class HeaderCodec:
                 self._fixed_wire += fixed
             else:
                 self._var_fields.append((name, ftype))
+        self._plan = self._build_plan()
+
+    def _build_plan(self) -> List[Tuple[Any, ...]]:
+        """Compile the field list into an encode/decode plan.
+
+        Consecutive fixed-width fields (unsigned ints, bools, floats)
+        collapse into one precompiled :class:`struct.Struct` so a run is
+        packed and unpacked in a single C call; everything else stays a
+        per-field step.  Wire bytes are identical to the per-field path.
+        """
+        plan: List[Tuple[Any, ...]] = []
+        run: List[Tuple[str, Optional[Callable], Optional[Callable]]] = []
+        run_fmt = ""
+
+        def flush_run() -> None:
+            nonlocal run, run_fmt
+            if not run:
+                return
+            packer = struct.Struct(">" + run_fmt)
+            names = tuple(n for n, _, _ in run)
+            encs = tuple(e for _, e, _ in run)
+            decs = tuple(d for _, _, d in run)
+            plan.append(("struct", packer, names, encs, decs))
+            run = []
+            run_fmt = ""
+
+        for name, ftype in self.fields:
+            kind = type(ftype)
+            if kind is _UInt:
+                run.append((name, int, None))
+                run_fmt += ftype._fmt[1]
+            elif kind is _Bool:
+                run.append((name, _bool_to_byte, bool))
+                run_fmt += "B"
+            elif kind is _Float:
+                run.append((name, float, None))
+                run_fmt += "d"
+            else:
+                flush_run()
+                plan.append(("field", name, ftype))
+        flush_run()
+        return plan
+
+    def _value(self, header: Header, name: str) -> Any:
+        if name in header:
+            return header[name]
+        if name in self.defaults:
+            return self.defaults[name]
+        raise HeaderError(f"{self.layer}: missing header field {name!r}")
 
     def encode(self, header: Header) -> bytes:
         """Encode ``header`` to exact (unpadded) bytes."""
         out = bytearray()
-        for name, ftype in self.fields:
-            if name in header:
-                value = header[name]
-            elif name in self.defaults:
-                value = self.defaults[name]
+        for step in self._plan:
+            if step[0] == "struct":
+                _, packer, names, encs, _ = step
+                try:
+                    out += packer.pack(
+                        *[enc(self._value(header, name))
+                          for name, enc in zip(names, encs)]
+                    )
+                except HeaderError:
+                    raise
+                except Exception:
+                    # Re-run field-at-a-time to attribute the error.
+                    self._encode_run_slow(header, names, out)
             else:
-                raise HeaderError(f"{self.layer}: missing header field {name!r}")
+                _, name, ftype = step
+                value = self._value(header, name)
+                try:
+                    ftype.encode(value, out)
+                except HeaderError:
+                    raise
+                except Exception as exc:
+                    raise HeaderError(
+                        f"{self.layer}: cannot encode field "
+                        f"{name!r}={value!r}: {exc}"
+                    ) from exc
+        return bytes(out)
+
+    def _encode_run_slow(
+        self, header: Header, names: Sequence[str], out: bytearray
+    ) -> None:
+        """Per-field fallback for a failed struct run: precise errors."""
+        by_name = dict(self.fields)
+        for name in names:
+            value = self._value(header, name)
             try:
-                ftype.encode(value, out)
+                by_name[name].encode(value, out)
             except HeaderError:
                 raise
             except Exception as exc:
                 raise HeaderError(
                     f"{self.layer}: cannot encode field {name!r}={value!r}: {exc}"
                 ) from exc
-        return bytes(out)
 
     def decode(self, data: bytes) -> Header:
         """Decode bytes produced by :meth:`encode` back into a dict."""
         header: Header = {}
         offset = 0
+        for step in self._plan:
+            if step[0] == "struct":
+                _, packer, names, _, decs = step
+                try:
+                    values = packer.unpack_from(data, offset)
+                except Exception as exc:
+                    raise HeaderError(
+                        f"{self.layer}: cannot decode fields {names}: {exc}"
+                    ) from exc
+                offset += packer.size
+                for name, dec, value in zip(names, decs, values):
+                    header[name] = dec(value) if dec is not None else value
+            else:
+                _, name, ftype = step
+                try:
+                    header[name], offset = ftype.decode(data, offset)
+                except HeaderError:
+                    raise
+                except Exception as exc:
+                    raise HeaderError(
+                        f"{self.layer}: cannot decode field {name!r}: {exc}"
+                    ) from exc
+        return header
+
+    def encode_table(self, header: Header, channel: "HeaderChannelEncoder") -> bytes:
+        """Encode ``header`` with table compression for ``channel``.
+
+        Each field gets a one-byte tag: blob-like values (addresses,
+        groups, text, bytes) intern into the channel table and travel as
+        u16 references; unsigned ints travel as varints or zigzag deltas
+        against a per-field base entry, whichever is smaller; everything
+        else falls back to the literal canonical encoding.
+
+        A header that repeats verbatim on a channel (COM's, every
+        message) is replayed from a per-layer cache: same dict, same
+        bytes, same table touches — without walking the fields.  A
+        header that differs from the cached one only in its unsigned-int
+        fields (a sequence number ticking up, every data message) takes
+        a *template* path: unchanged fields replay their cached byte
+        spans, and only the ints re-encode, inline.
+        """
+        cached = channel._enc_cache.get(self.layer)
+        if cached is not None:
+            if cached[0] == header:
+                touch = channel.touch
+                for idx in cached[2]:
+                    touch(idx)
+                return cached[1]
+            template = cached[3]
+            if template is not None:
+                blob = self._encode_from_template(header, channel, template)
+                if blob is not None:
+                    return blob
+        channel._touch_log = touches = []
+        channel._cacheable = True
+        out = bytearray()
+        template = []
+        layer = self.layer
+        defaults = self.defaults
+        try:
+            for name, ftype in self.fields:
+                value = self._value(header, name)
+                start = len(out)
+                tstart = len(touches)
+                try:
+                    self._encode_table_field(name, ftype, value, channel, out)
+                except HeaderError:
+                    raise
+                except Exception as exc:
+                    raise HeaderError(
+                        f"{self.layer}: cannot encode field "
+                        f"{name!r}={value!r}: {exc}"
+                    ) from exc
+                if template is None:
+                    continue
+                dflt = defaults.get(name, _REQUIRED)
+                if type(ftype) is _UInt:
+                    base = channel.base_for(layer, name)
+                    if base is not None:
+                        idx, base_value = base
+                        template.append((
+                            True, name, dflt, idx, base_value,
+                            bytes((_TAG_DELTA,)) + struct.pack(">H", idx),
+                        ))
+                    elif ftype._bits < 16:
+                        template.append((True, name, dflt, None, 0, b""))
+                    else:
+                        # Install failed (table full); the slow path
+                        # retries it every message, so don't template.
+                        template = None
+                else:
+                    template.append((
+                        False, name, dflt, value,
+                        bytes(out[start:]), tuple(touches[tstart:]),
+                    ))
+        finally:
+            channel._touch_log = None
+        blob = bytes(out)
+        if channel._cacheable:
+            channel._enc_cache[self.layer] = (
+                dict(header), blob, tuple(touches),
+                tuple(template) if template is not None else None,
+            )
+        return blob
+
+    def _encode_from_template(
+        self, header: Header, channel: "HeaderChannelEncoder", template
+    ) -> Optional[bytes]:
+        """Re-encode against a cached field template; None means bail.
+
+        Unsigned-int fields re-encode inline (the delta-vs-varint choice
+        and the table touches are byte-identical to the slow path);
+        every other field must equal its cached value and replays its
+        recorded span and touches.  Any surprise — a changed address, a
+        missing field, a non-int — falls back to the full walk, which
+        re-caches.
+        """
+        out = bytearray()
+        touch = channel.touch
+        get = header.get
+        append = out.append
+        for seg in template:
+            if seg[0]:
+                _, name, dflt, idx, base_value, delta_prefix = seg
+                number = get(name, dflt)
+                if type(number) is not int or number < 0:
+                    return None
+                if number < 0x200000:
+                    # Varint ≤ 3 bytes; a delta (tag + u16 index + varint,
+                    # ≥ 4 bytes) can never win, so skip the base entirely.
+                    append(_TAG_VARINT)
+                    if number < 0x80:
+                        append(number)
+                    elif number < 0x4000:
+                        append((number & 0x7F) | 0x80)
+                        append(number >> 7)
+                    else:
+                        append((number & 0x7F) | 0x80)
+                        append(((number >> 7) & 0x7F) | 0x80)
+                        append(number >> 14)
+                    continue
+                if idx is not None:
+                    delta = number - base_value
+                    zz = (delta << 1) if delta >= 0 else ((-delta << 1) - 1)
+                    if 3 + _uvarint_len(zz) < 1 + _uvarint_len(number):
+                        touch(idx)
+                        out += delta_prefix
+                        _write_uvarint(out, zz)
+                        continue
+                append(_TAG_VARINT)
+                _write_uvarint(out, number)
+            else:
+                _, name, dflt, value, span, idxs = seg
+                if get(name, dflt) != value:
+                    return None
+                out += span
+                for idx in idxs:
+                    touch(idx)
+        return bytes(out)
+
+    def _encode_table_field(
+        self,
+        name: str,
+        ftype: FieldType,
+        value: Any,
+        channel: "HeaderChannelEncoder",
+        out: bytearray,
+    ) -> None:
+        kind = type(ftype)
+        if kind is _UInt:
+            number = int(value)
+            if number < 0:
+                raise HeaderError(
+                    f"{self.layer}: negative value for unsigned field {name!r}"
+                )
+            base = channel.base_for(self.layer, name)
+            if base is None and ftype._bits >= 16:
+                # First sighting: install the canonical encoding as the
+                # delta base for this (layer, field).
+                raw = bytearray()
+                ftype.encode(number, raw)
+                idx = channel.intern(bytes(raw))
+                if idx is not None:
+                    channel.set_base(self.layer, name, idx, number)
+            elif base is not None:
+                idx, base_value = base
+                zz = _zigzag(number - base_value)
+                if 3 + _uvarint_len(zz) < 1 + _uvarint_len(number):
+                    channel.touch(idx)
+                    out.append(_TAG_DELTA)
+                    out += struct.pack(">H", idx)
+                    _write_uvarint(out, zz)
+                    return
+            out.append(_TAG_VARINT)
+            _write_uvarint(out, number)
+            return
+        if kind in (_Address, _Group, _Text, _VarBytes):
+            raw = bytearray()
+            ftype.encode(value, raw)
+            raw = bytes(raw)
+            idx = channel.intern(raw) if len(raw) > 3 else None
+            if idx is not None:
+                out.append(_TAG_REF)
+                out += struct.pack(">H", idx)
+                return
+        out.append(_TAG_LITERAL)
+        ftype.encode(value, out)
+
+    def decode_table(self, data: bytes, table: "_ChannelTable") -> Header:
+        """Decode bytes produced by :meth:`encode_table`."""
+        header: Header = {}
+        offset = 0
+        size = len(data)
         for name, ftype in self.fields:
             try:
-                header[name], offset = ftype.decode(data, offset)
+                if offset >= size:
+                    raise HeaderError("truncated table-coded header")
+                tag = data[offset]
+                offset += 1
+                if tag == _TAG_LITERAL:
+                    header[name], offset = ftype.decode(data, offset)
+                elif tag == _TAG_VARINT:
+                    header[name], offset = _read_uvarint(data, offset)
+                elif tag == _TAG_REF:
+                    (idx,) = struct.unpack_from(">H", data, offset)
+                    offset += 2
+                    header[name] = table.value(idx, ftype)
+                elif tag == _TAG_DELTA:
+                    (idx,) = struct.unpack_from(">H", data, offset)
+                    offset += 2
+                    zz, offset = _read_uvarint(data, offset)
+                    header[name] = table.value(idx, ftype) + _unzigzag(zz)
+                else:
+                    raise HeaderError(f"bad field tag {tag}")
             except HeaderError:
                 raise
             except Exception as exc:
@@ -580,6 +916,293 @@ class HeaderCodec:
 
 
 # ----------------------------------------------------------------------
+# Header-table compression (the "table" wire mode)
+# ----------------------------------------------------------------------
+#
+# HPACK-style: each sender channel (one per endpoint × group) owns a
+# dynamic table mapping small u16 indices to canonically-encoded field
+# values.  Installs ride in an eagerly-applied updates section of the
+# datagram preamble; steady-state headers then reference values by
+# index, and integers travel as varints or zigzag deltas against a
+# per-field base entry.  Unknown references raise HeaderError — the
+# datagram is rejected whole and the sender's periodic refresh
+# re-installs the entry, so loss heals without acks.
+
+_TAG_LITERAL = 0  # canonical field encoding follows
+_TAG_REF = 1      # u16 table index
+_TAG_VARINT = 2   # unsigned LEB128
+_TAG_DELTA = 3    # u16 base index + zigzag LEB128 delta
+
+#: Sentinel default for template fields with no registered default: a
+#: missing required field can never equal it, so the template bails to
+#: the slow path, which raises the proper error.
+_REQUIRED = object()
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    size = len(data)
+    while True:
+        if offset >= size:
+            raise HeaderError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise HeaderError("varint too long")
+
+
+def _uvarint_len(value: int) -> int:
+    length = 1
+    while value > 0x7F:
+        value >>= 7
+        length += 1
+    return length
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not (value & 1) else -((value + 1) >> 1)
+
+
+class HeaderChannelEncoder:
+    """Sender-side dynamic table for one wire channel.
+
+    A channel is one sender endpoint's stream into one group; the COM
+    layer owns the encoder and passes it to
+    :meth:`HeaderRegistry.marshal` in ``table`` mode.  ``epoch``
+    distinguishes encoder incarnations on the same channel id so a
+    receiver discards stale entries after a rejoin.
+    """
+
+    __slots__ = ("channel_id", "epoch", "refresh_every", "max_entries",
+                 "_by_raw", "_raws", "_uses", "_bases", "_pending",
+                 "_enc_cache", "_touch_log", "_cacheable")
+
+    def __init__(
+        self,
+        channel_id: int,
+        epoch: int,
+        refresh_every: int = 64,
+        max_entries: int = 4096,
+    ) -> None:
+        self.channel_id = channel_id & 0xFFFFFFFF
+        self.epoch = epoch & 0xFFFF
+        #: Every entry is re-installed after this many references, so a
+        #: receiver that lost the original install datagram recovers.
+        self.refresh_every = refresh_every
+        self.max_entries = max_entries
+        self._by_raw: Dict[bytes, int] = {}
+        self._raws: List[bytes] = []
+        self._uses: List[int] = []
+        #: (layer, field) -> (entry idx, base int value) for delta coding.
+        self._bases: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        #: Installs/refreshes to emit in the next datagram's preamble.
+        self._pending: List[Tuple[int, bytes]] = []
+        #: layer -> (header snapshot, encoded bytes, touched entries,
+        #: field template): steady-state headers that repeat verbatim
+        #: (COM's group/source/kind above all) skip field-by-field
+        #: encoding entirely, and headers whose ints tick (sequence
+        #: numbers) re-encode only those via the template.  Touched
+        #: entries are replayed on a hit so refresh cadence is identical
+        #: to an uncached encode.
+        self._enc_cache: Dict[str, Tuple[Header, bytes, Tuple[int, ...], Any]] = {}
+        self._touch_log: Optional[List[int]] = None
+        self._cacheable = False
+
+    def intern(self, raw: bytes) -> Optional[int]:
+        """Index for ``raw``, installing it if new; None if table full."""
+        idx = self._by_raw.get(raw)
+        if idx is None:
+            if len(self._raws) >= self.max_entries:
+                return None
+            idx = len(self._raws)
+            self._raws.append(raw)
+            self._uses.append(0)
+            self._by_raw[raw] = idx
+            self._pending.append((idx, raw))
+            # A fresh install: the next encode of the same header will
+            # reference the table instead, so these bytes must not be
+            # replayed from the cache.
+            self._cacheable = False
+            return idx
+        self.touch(idx)
+        return idx
+
+    def touch(self, idx: int) -> None:
+        """Count one reference; schedules a periodic refresh install."""
+        uses = self._uses[idx] + 1
+        if uses >= self.refresh_every:
+            self._pending.append((idx, self._raws[idx]))
+            uses = 0
+        self._uses[idx] = uses
+        log = self._touch_log
+        if log is not None:
+            log.append(idx)
+
+    def base_for(self, layer: str, field: str) -> Optional[Tuple[int, int]]:
+        return self._bases.get((layer, field))
+
+    def set_base(self, layer: str, field: str, idx: int, value: int) -> None:
+        self._bases[(layer, field)] = (idx, value)
+        # First sighting of a delta field: later encodes of the same
+        # value emit a delta against this base, so don't cache this one.
+        self._cacheable = False
+
+    def refresh_all(self) -> None:
+        """Re-emit every entry in the next datagram.
+
+        Called when the channel's audience changes (a new member joined
+        the destination set): the newcomer missed every earlier install,
+        so the next datagram must be self-contained.
+        """
+        self._pending = list(enumerate(self._raws))
+        self._uses = [0] * len(self._uses)
+
+    def take_updates(self) -> List[Tuple[int, bytes]]:
+        """Drain the installs to ship with the datagram being built."""
+        updates = self._pending
+        self._pending = []
+        return updates
+
+
+class _ChannelTable:
+    """Receiver-side entries for one channel (one epoch's worth)."""
+
+    __slots__ = ("epoch", "entries", "_decoded", "_rows")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.entries: Dict[int, bytes] = {}
+        # Decoded-value cache: repetitive values (addresses above all)
+        # are parsed once per install, not once per message.
+        self._decoded: Dict[Tuple[int, int], Any] = {}
+        # Whole-header row cache: layer -> (encoded bytes, decoded
+        # snapshot).  Steady-state headers repeat byte-identically
+        # (COM's, every message); a hit costs one bytes compare and a
+        # small dict copy instead of a field walk.  Installs clear it
+        # (they are rare — first datagrams and periodic refreshes).
+        self._rows: Dict[str, Tuple[bytes, Header]] = {}
+
+    def install(self, idx: int, raw: bytes) -> None:
+        self.entries[idx] = raw
+        # Invalidate any cached decode for this slot.
+        for key in [k for k in self._decoded if k[0] == idx]:
+            del self._decoded[key]
+        self._rows.clear()
+
+    def decode_row(self, codec: "HeaderCodec", blob: bytes) -> Header:
+        """Decode one table-coded header via the row cache."""
+        entry = self._rows.get(codec.layer)
+        if entry is not None and entry[0] == blob:
+            return dict(entry[1])
+        header = codec.decode_table(blob, self)
+        self._rows[codec.layer] = (blob, dict(header))
+        return header
+
+    def value(self, idx: int, ftype: FieldType) -> Any:
+        key = (idx, id(ftype))
+        try:
+            return self._decoded[key]
+        except KeyError:
+            pass
+        raw = self.entries.get(idx)
+        if raw is None:
+            raise HeaderError(
+                f"unknown header-table index {idx} (install lost?)"
+            )
+        value, _ = ftype.decode(raw, 0)
+        self._decoded[key] = value
+        return value
+
+
+class HeaderTableStore:
+    """Receiver-side table state, one per receiving endpoint.
+
+    Keyed by channel id; an epoch change (sender rejoined, new encoder)
+    resets that channel's entries.  Kept per-receiver — never shared
+    across simulated nodes — so each receiver's view of a channel
+    depends only on the datagrams *it* saw (per-receiver loss fidelity).
+    """
+
+    __slots__ = ("_channels",)
+
+    def __init__(self) -> None:
+        self._channels: Dict[int, _ChannelTable] = {}
+
+    def channel(self, channel_id: int, epoch: int) -> _ChannelTable:
+        table = self._channels.get(channel_id)
+        if table is None or table.epoch != epoch:
+            table = _ChannelTable(epoch)
+            self._channels[channel_id] = table
+        return table
+
+
+def make_channel_encoder(
+    source: Any, group: Any, epoch: int, refresh_every: int = 64
+) -> HeaderChannelEncoder:
+    """Build the sender-side encoder for one (endpoint, group) channel.
+
+    The channel id is a stable 4-byte hash of the marshalled addresses,
+    so both sides derive it without negotiation messages.
+    """
+    import hashlib
+
+    digest = hashlib.blake2b(
+        source.marshal() + b"|" + group.marshal(), digest_size=4
+    ).digest()
+    return HeaderChannelEncoder(
+        int.from_bytes(digest, "big"), epoch, refresh_every=refresh_every
+    )
+
+
+class _LazyHeader:
+    """A deferred header: a (codec, offset, length) window into a datagram.
+
+    :meth:`Message.pop_header` / ``peek_header`` call
+    :meth:`materialize` on first access; decoding is a pure function of
+    the immutable datagram bytes, so thunks may be shared by message
+    copies.
+    """
+
+    __slots__ = ("codec", "data", "offset", "length", "table")
+
+    def __init__(
+        self,
+        codec: "HeaderCodec",
+        data: bytes,
+        offset: int,
+        length: int,
+        table: Optional["_ChannelTable"] = None,
+    ) -> None:
+        self.codec = codec
+        self.data = data
+        self.offset = offset
+        self.length = length
+        self.table = table
+
+    def materialize(self) -> Header:
+        blob = bytes(self.data[self.offset : self.offset + self.length])
+        if self.table is not None:
+            return self.table.decode_row(self.codec, blob)
+        return self.codec.decode(blob)
+
+
+# ----------------------------------------------------------------------
 # Registry and wire format
 # ----------------------------------------------------------------------
 
@@ -587,10 +1210,19 @@ _MAGIC = 0x4852  # "HR"
 _MODE_ALIGNED = 0
 _MODE_COMPACT = 1
 _MODE_PACKED = 2  # the Section 10 proposal: one bit-compacted header block
+_MODE_TABLE = 3   # header-table compression (HPACK-style, per channel)
 _WORD = 4  # paper: headers aligned to a (32-bit) word boundary
 
 _MODE_BYTES = {"aligned": _MODE_ALIGNED, "compact": _MODE_COMPACT,
-               "packed": _MODE_PACKED}
+               "packed": _MODE_PACKED, "table": _MODE_TABLE}
+
+#: Wire modes every world accepts; validation lives here so the DES and
+#: realtime worlds stay in lockstep when a mode is added.
+WIRE_MODES = ("aligned", "compact", "packed", "table")
+
+#: Preamble extension for table mode: channel id, epoch, update count.
+_TABLE_PREAMBLE = struct.Struct(">IHH")
+_TABLE_UPDATE = struct.Struct(">HH")
 
 
 class HeaderRegistry:
@@ -630,21 +1262,36 @@ class HeaderRegistry:
 
     # -- wire format ----------------------------------------------------
 
-    def marshal(self, message: Message, mode: str = "aligned") -> bytes:
+    def marshal(
+        self,
+        message: Message,
+        mode: str = "aligned",
+        channel: Optional[HeaderChannelEncoder] = None,
+        into: Optional[bytearray] = None,
+    ) -> bytes:
         """Flatten ``message`` (headers + body) to wire bytes.
 
         Modes: ``aligned`` (per-layer headers padded to word boundaries,
         the 1995 production scheme), ``compact`` (per-layer, unpadded),
         ``packed`` (the Section 10 proposal: one bit-compacted header
         block with no per-header framing — FRAG's boolean really costs
-        one bit on the wire).
+        one bit on the wire), ``table`` (header-table compression;
+        requires the sender's per-channel ``channel`` encoder).
+
+        ``into`` lets hot send paths reuse one scratch buffer: the
+        datagram is built there (the buffer is cleared first) and the
+        returned ``bytes`` is a copy of its final contents.
         """
         try:
             mode_byte = _MODE_BYTES[mode]
         except KeyError:
             raise HeaderError(f"unknown wire mode {mode!r}") from None
-        headers = message.headers()
-        out = bytearray()
+        headers = message.iter_headers()
+        if into is None:
+            out = bytearray()
+        else:
+            out = into
+            out.clear()
         out += struct.pack(">HBB", _MAGIC, mode_byte, len(headers))
         if mode_byte == _MODE_PACKED:
             writer = BitWriter()
@@ -660,6 +1307,34 @@ class HeaderRegistry:
             blob = writer.getvalue()
             out += struct.pack(">H", len(blob))
             out += blob
+        elif mode_byte == _MODE_TABLE:
+            if channel is None:
+                raise HeaderError(
+                    "table wire mode needs a per-channel encoder "
+                    "(HeaderRegistry.marshal(..., channel=...))"
+                )
+            blobs: List[Tuple[int, bytes]] = []
+            for owner, header in headers:
+                try:
+                    layer_id, codec = self._by_name[owner]
+                except KeyError:
+                    raise HeaderError(
+                        f"no codec registered for layer {owner!r}"
+                    ) from None
+                blobs.append((layer_id, codec.encode_table(header, channel)))
+            # Installs must precede the headers that reference them, so
+            # they ride in the preamble and are applied eagerly by the
+            # receiver even when header decode itself is lazy.
+            updates = channel.take_updates()
+            out += _TABLE_PREAMBLE.pack(
+                channel.channel_id, channel.epoch, len(updates)
+            )
+            for idx, raw in updates:
+                out += _TABLE_UPDATE.pack(idx, len(raw))
+                out += raw
+            for layer_id, blob in blobs:
+                out += struct.pack(">BH", layer_id, len(blob))
+                out += blob
         else:
             for owner, header in headers:
                 try:
@@ -679,12 +1354,32 @@ class HeaderRegistry:
         out += body
         return bytes(out)
 
-    def unmarshal(self, data: bytes) -> Message:
+    def unmarshal(
+        self,
+        data: bytes,
+        lazy: bool = False,
+        tables: Optional[HeaderTableStore] = None,
+    ) -> Message:
         """Rebuild a :class:`Message` from wire bytes.
 
         Raises :class:`HeaderError` on any corruption it can detect;
         corruption confined to the body passes through silently, which
         is exactly why the checksum layer exists.
+
+        With ``lazy=True`` (framed modes only — ``packed`` is a single
+        sequential bit stream and always decodes eagerly) the datagram's
+        structure is validated once, but each header is decoded only
+        when its owning layer pops or peeks it, and the body is shared
+        as a ``memoryview`` slice.  Lazy and eager decode accept and
+        reject exactly the same datagrams; laziness only moves *when* a
+        value-level ``HeaderError`` surfaces (at access instead of
+        here), which is why receive paths feed known-garbled packets
+        through the eager path.
+
+        ``tables`` carries the receiver's per-channel state for ``table``
+        mode; without it each datagram gets a throwaway store (only
+        self-contained datagrams — ones installing everything they
+        reference — decode).
         """
         try:
             magic, mode_byte, n_headers = struct.unpack_from(">HBB", data, 0)
@@ -692,37 +1387,88 @@ class HeaderRegistry:
             raise HeaderError(f"short packet: {exc}") from exc
         if magic != _MAGIC:
             raise HeaderError(f"bad magic 0x{magic:04x}")
-        if mode_byte not in (_MODE_ALIGNED, _MODE_COMPACT, _MODE_PACKED):
-            raise HeaderError(f"bad mode byte {mode_byte}")
         offset = 4
         message = Message()
         if mode_byte == _MODE_PACKED:
             return self._unmarshal_packed(data, offset, n_headers, message)
+        table: Optional[_ChannelTable] = None
+        if mode_byte == _MODE_TABLE:
+            table, offset = self._apply_table_preamble(data, offset, tables)
+        elif mode_byte not in (_MODE_ALIGNED, _MODE_COMPACT):
+            raise HeaderError(f"bad mode byte {mode_byte}")
+        # Structural scan: frame every header span and the body before
+        # decoding anything, so truncation is caught here even when the
+        # per-header decode happens lazily later.
+        spans: List[Tuple[HeaderCodec, int, int]] = []
+        size = len(data)
+        aligned = mode_byte == _MODE_ALIGNED
+        by_id = self._by_id
         try:
             for _ in range(n_headers):
                 layer_id, length = struct.unpack_from(">BH", data, offset)
                 offset += 3
-                blob = data[offset : offset + length]
-                if len(blob) != length:
+                end = offset + length
+                if end > size:
                     raise HeaderError("truncated header")
-                offset += length
-                if mode_byte == _MODE_ALIGNED:
-                    offset += (-(3 + length)) % _WORD
-                codec = self._by_id.get(layer_id)
+                codec = by_id.get(layer_id)
                 if codec is None:
                     raise HeaderError(f"unknown header id {layer_id}")
-                message.push_header(codec.layer, codec.decode(blob))
+                spans.append((codec, offset, length))
+                offset = end
+                if aligned:
+                    offset += (-(3 + length)) % _WORD
             (body_len,) = struct.unpack_from(">I", data, offset)
             offset += 4
-            body = data[offset : offset + body_len]
-            if len(body) != body_len:
+            if offset + body_len > size:
                 raise HeaderError("truncated body")
         except HeaderError:
             raise
         except Exception as exc:
             raise HeaderError(f"corrupt packet: {exc}") from exc
-        message.add_segment(body)
+        if lazy:
+            push_lazy = message.push_lazy_header
+            for codec, start, length in spans:
+                push_lazy(codec.layer, _LazyHeader(codec, data, start, length, table))
+            if body_len:
+                message.add_segment(memoryview(data)[offset : offset + body_len])
+        else:
+            push = message.push_owned_header
+            for codec, start, length in spans:
+                blob = bytes(data[start : start + length])
+                if table is not None:
+                    push(codec.layer, table.decode_row(codec, blob))
+                else:
+                    push(codec.layer, codec.decode(blob))
+            message.add_segment(bytes(data[offset : offset + body_len]))
         return message
+
+    def _apply_table_preamble(
+        self,
+        data: bytes,
+        offset: int,
+        tables: Optional[HeaderTableStore],
+    ) -> Tuple[_ChannelTable, int]:
+        """Parse channel id / epoch / updates; returns the live table."""
+        try:
+            channel_id, epoch, n_updates = _TABLE_PREAMBLE.unpack_from(
+                data, offset
+            )
+            offset += _TABLE_PREAMBLE.size
+            store = tables if tables is not None else HeaderTableStore()
+            table = store.channel(channel_id, epoch)
+            for _ in range(n_updates):
+                idx, length = _TABLE_UPDATE.unpack_from(data, offset)
+                offset += _TABLE_UPDATE.size
+                end = offset + length
+                if end > len(data):
+                    raise HeaderError("truncated table update")
+                table.install(idx, bytes(data[offset:end]))
+                offset = end
+        except HeaderError:
+            raise
+        except Exception as exc:
+            raise HeaderError(f"corrupt table preamble: {exc}") from exc
+        return table, offset
 
     def _unmarshal_packed(
         self, data: bytes, offset: int, n_headers: int, message: Message
@@ -740,7 +1486,7 @@ class HeaderRegistry:
                 codec = self._by_id.get(layer_id)
                 if codec is None:
                     raise HeaderError(f"unknown header id {layer_id}")
-                message.push_header(codec.layer, codec.decode_bits(reader))
+                message.push_owned_header(codec.layer, codec.decode_bits(reader))
             (body_len,) = struct.unpack_from(">I", data, offset)
             offset += 4
             body = data[offset : offset + body_len]
@@ -765,10 +1511,18 @@ def canonical_content(registry: HeaderRegistry, message: Message) -> bytes:
     *above* themselves by encoding the current header stack plus the
     body through the registered codecs.  Both sides compute the same
     bytes because codecs are deterministic.
+
+    Owner names are length-prefixed: bare concatenation let distinct
+    stacks collide (owners ``"AB"`` + ``"C"`` framed identically to
+    ``"A"`` + ``"BC"`` when the encoded headers lined up), which an
+    attacker — or plain bad luck — could use to swap headers without
+    moving the checksum.  The prefix makes the framing injective.
     """
     out = bytearray()
     for owner, header in message.headers():
-        out += owner.encode("utf-8")
+        name = owner.encode("utf-8")
+        out += struct.pack(">H", len(name))
+        out += name
         out += registry.codec_for(owner).encode(header)
     out += message.body_bytes()
     return bytes(out)

@@ -15,6 +15,16 @@ We reproduce both aspects:
 * **Zero-copy body** — the body is a list of byte segments (an iovec);
   fragmentation and reassembly slice and concatenate segment *lists*,
   never the bytes themselves, until the wire boundary flattens them.
+  Segments may be ``memoryview`` slices over a received datagram, so a
+  delivered body shares the datagram buffer until someone asks for
+  :meth:`Message.body_bytes`.
+
+Received messages may additionally carry **lazy headers**: the wire
+unmarshaller pushes placeholder entries that hold a ``(codec, offset,
+length)`` window into the datagram instead of a decoded dict, and the
+dict is materialized only when the owning layer pops or peeks it (see
+:meth:`Message.push_lazy_header`).  Layers never observe the
+difference — every accessor materializes on demand.
 """
 
 from __future__ import annotations
@@ -50,6 +60,25 @@ class Message:
         """Push ``header`` owned by ``layer`` onto the header stack."""
         self._headers.append((layer, dict(header)))
 
+    def push_owned_header(self, layer: str, header: Header) -> None:
+        """Push a header dict whose ownership transfers to the message.
+
+        Hot-path variant of :meth:`push_header`: no defensive copy, so
+        the caller must not keep (or mutate) its reference.  Layers that
+        build a fresh literal dict per push use this.
+        """
+        self._headers.append((layer, header))
+
+    def push_lazy_header(self, layer: str, entry: Any) -> None:
+        """Push a deferred header owned by ``layer``.
+
+        ``entry`` is anything with a ``materialize()`` method returning
+        the header dict (and raising ``HeaderError`` on corrupt bytes).
+        Used by the wire unmarshaller so a received message decodes a
+        header only when its owning layer actually pops or peeks it.
+        """
+        self._headers.append((layer, entry))
+
     def pop_header(self, layer: str) -> Header:
         """Pop the top header, which must belong to ``layer``.
 
@@ -65,6 +94,8 @@ class Message:
                 f"layer {layer!r} tried to pop header owned by {owner!r}"
             )
         self._headers.pop()
+        if type(header) is not dict:
+            header = header.materialize()
         return header
 
     def peek_header(self, layer: Optional[str] = None) -> Optional[Header]:
@@ -79,6 +110,9 @@ class Message:
         owner, header = self._headers[-1]
         if layer is not None and owner != layer:
             return None
+        if type(header) is not dict:
+            header = header.materialize()
+            self._headers[-1] = (owner, header)
         return header
 
     def top_owner(self) -> Optional[str]:
@@ -93,15 +127,43 @@ class Message:
         return len(self._headers)
 
     def headers(self) -> List[Tuple[str, Header]]:
-        """A snapshot of the header stack, bottom-of-stack first."""
-        return [(owner, dict(h)) for owner, h in self._headers]
+        """A snapshot of the header stack, bottom-of-stack first.
+
+        Materializes any lazy entries (marshalling and the integrity
+        layers need every header decoded).
+        """
+        entries = self._headers
+        out: List[Tuple[str, Header]] = []
+        for i, (owner, h) in enumerate(entries):
+            if type(h) is not dict:
+                h = h.materialize()
+                entries[i] = (owner, h)
+            out.append((owner, dict(h)))
+        return out
+
+    def iter_headers(self) -> List[Tuple[str, Header]]:
+        """The header stack, bottom-first, materialized but NOT copied.
+
+        Hot-path variant of :meth:`headers` for read-only walks (the
+        marshaller, canonical-content hashing): callers must not mutate
+        the dicts.
+        """
+        entries = self._headers
+        for i, (owner, h) in enumerate(entries):
+            if type(h) is not dict:
+                entries[i] = (owner, h.materialize())
+        return entries
 
     # ------------------------------------------------------------------
     # Body segments (iovec)
     # ------------------------------------------------------------------
 
     def add_segment(self, data: bytes) -> None:
-        """Append a body segment without copying existing segments."""
+        """Append a body segment without copying existing segments.
+
+        Segments are bytes-like: plain ``bytes`` or ``memoryview``
+        slices over a received datagram (zero-copy delivery).
+        """
         if data:
             self._segments.append(data)
 
@@ -117,9 +179,11 @@ class Message:
 
     def body_bytes(self) -> bytes:
         """Flatten the body to one byte string (the only copying point)."""
-        if len(self._segments) == 1:
-            return self._segments[0]
-        return b"".join(self._segments)
+        segments = self._segments
+        if len(segments) == 1:
+            seg = segments[0]
+            return seg if type(seg) is bytes else bytes(seg)
+        return b"".join(segments)
 
     def slice_body(self, start: int, end: int) -> List[bytes]:
         """Return the segments covering ``[start, end)`` of the body.
@@ -150,9 +214,32 @@ class Message:
     # ------------------------------------------------------------------
 
     def copy(self) -> "Message":
-        """Deep-copy headers, share body segments (bytes are immutable)."""
+        """Deep-copy headers, share body segments (bytes are immutable).
+
+        Lazy entries are shared, not materialized: each copy decodes its
+        own dict on first access (decoding is a pure function of the
+        immutable datagram bytes, so sharing the thunk is safe).
+        """
         clone = Message()
-        clone._headers = [(owner, dict(h)) for owner, h in self._headers]
+        clone._headers = [
+            (owner, dict(h) if type(h) is dict else h)
+            for owner, h in self._headers
+        ]
+        clone._segments = list(self._segments)
+        return clone
+
+    def shallow_copy(self) -> "Message":
+        """Copy the stacks, share the header dicts.
+
+        For retransmission buffers: layers never mutate a header dict
+        after pushing it (they build a fresh dict per push and only read
+        popped ones), so a buffered message needs its own header *list*
+        (pushes/pops on one side must not show on the other) but can
+        share the dicts themselves.  Re-send paths deep-:meth:`copy`
+        the buffered message before pushing new headers onto it.
+        """
+        clone = Message()
+        clone._headers = list(self._headers)
         clone._segments = list(self._segments)
         return clone
 

@@ -16,11 +16,12 @@ import warnings
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from repro.core.endpoint import Endpoint
-from repro.core.headers import DEFAULT_REGISTRY, HeaderRegistry
+from repro.core.headers import DEFAULT_REGISTRY, HeaderRegistry, WIRE_MODES
 from repro.errors import ConfigurationError, SimulationError
 from repro.membership.directory import GroupDirectory
 from repro.net.address import EndpointAddress
 from repro.net.atm import AtmNetwork
+from repro.net.coalesce import Coalescer
 from repro.net.faults import FaultModel
 from repro.net.lan import LanNetwork
 from repro.net.network import Network
@@ -212,6 +213,7 @@ class World:
         obs: Optional[ObsOptions] = None,
         metrics: Optional[MetricsRegistry] = None,
         store: Optional[Any] = None,
+        coalesce: Union[bool, Dict[str, Any]] = False,
         **network_kwargs: Any,
     ) -> None:
         self.scheduler = Scheduler()
@@ -233,7 +235,7 @@ class World:
         self.store = store if store is not None else MemoryStoreDomain(
             metrics=self.metrics
         )
-        if wire_mode not in ("aligned", "compact", "packed"):
+        if wire_mode not in WIRE_MODES:
             raise ConfigurationError(f"unknown wire mode {wire_mode!r}")
         self.wire_mode = wire_mode
         if isinstance(network, Network):
@@ -259,6 +261,11 @@ class World:
                 metrics=self.metrics,
                 **network_kwargs,
             )
+        if coalesce:
+            # Batch small datagrams at the COM seam (ISSUE 7).  Off by
+            # default so existing seeds reproduce byte-identical runs.
+            options = coalesce if isinstance(coalesce, dict) else {}
+            self.network = Coalescer(self.network, self.scheduler, **options)
         self._processes: Dict[str, Process] = {}
 
     # -- process management ----------------------------------------------

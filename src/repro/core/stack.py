@@ -21,7 +21,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Type
 
 from repro.core.events import Downcall, Upcall
 from repro.core.layer import Layer, LayerContext
-from repro.errors import StackError
+from repro.errors import HeaderError, StackError
 from repro.obs import ObsOptions, SpanRecorder, StackObserver
 
 # ----------------------------------------------------------------------
@@ -279,6 +279,9 @@ class Stack:
             if sync is not None and context.metrics is not None:
                 context.metrics.add_collector(sync)
         self.started = False
+        #: Messages dropped whole because a lazily-decoded header turned
+        #: out to be corrupt mid-traversal (see deliver_from_network).
+        self.undecodable_messages = 0
 
     def _wire(self) -> None:
         """Connect ``above``/``below`` references, possibly via the pump."""
@@ -318,8 +321,19 @@ class Stack:
         self.layers[0].down(downcall)
 
     def deliver_from_network(self, upcall: Upcall) -> None:
-        """Inject an upcall at the bottom (used only by the COM layer)."""
-        self.layers[-1].up(upcall)
+        """Inject an upcall at the bottom (used only by the COM layer).
+
+        Lazily-unmarshalled messages decode each header when its layer
+        pops it, so a corrupt header that eager decode would have
+        rejected at the demux can surface *here*, mid-traversal (the
+        realtime substrate injects garbling sender-side, with no flag
+        for the receiver to route the packet onto the eager path).  The
+        whole message is dropped, matching the eager outcome.
+        """
+        try:
+            self.layers[-1].up(upcall)
+        except HeaderError:
+            self.undecodable_messages += 1
 
     # -- introspection (Table 1: focus, dump) ------------------------------
 
@@ -438,6 +452,7 @@ class StackConfig:
             endpoint=str(context.endpoint),
             group=str(context.group),
             sample=getattr(options, "sample", 1),
+            wire_mode=getattr(context, "wire_mode", "aligned"),
         )
 
     def __repr__(self) -> str:

@@ -128,6 +128,14 @@ class LoadReport:
     delivered_bytes: int = 0
     goodput_bps: float = 0.0
     goodput_mps: float = 0.0
+    #: Wire-level accounting over the measurement window (storm +
+    #: drain): what the substrate actually put on the medium, next to
+    #: the application-level goodput so coalescing's amortization (many
+    #: app messages per datagram) is visible in the same report.
+    wire_bytes: int = 0
+    datagrams: int = 0
+    wire_bytes_per_s: float = 0.0
+    datagrams_per_s: float = 0.0
     p50_ms: float = 0.0
     p99_ms: float = 0.0
     max_ms: float = 0.0
@@ -156,6 +164,10 @@ class LoadReport:
             "delivery_ratio": round(self.delivery_ratio, 6),
             "goodput_bps": round(self.goodput_bps, 3),
             "goodput_mps": round(self.goodput_mps, 3),
+            "wire_bytes": self.wire_bytes,
+            "datagrams": self.datagrams,
+            "wire_bytes_per_s": round(self.wire_bytes_per_s, 3),
+            "datagrams_per_s": round(self.datagrams_per_s, 3),
             "latency_ms": {
                 "p50": round(self.p50_ms, 3),
                 "p99": round(self.p99_ms, 3),
@@ -199,6 +211,11 @@ class LoadReport:
             (
                 f"  goodput    {self.goodput_bps:.1f} B/s  "
                 f"({self.goodput_mps:.1f} msg/s)"
+            ),
+            (
+                f"  wire       {self.wire_bytes_per_s:.1f} B/s  "
+                f"({self.datagrams_per_s:.1f} datagrams/s, "
+                f"{self.wire_bytes} B / {self.datagrams} datagrams total)"
             ),
             (
                 f"  latency    p50={self.p50_ms:.2f} ms  "
@@ -346,6 +363,16 @@ def _run(world, config: LoadConfig) -> LoadReport:
     for tick in range(1, ticks + 1):
         world.scheduler.call_at(start + tick * _SAMPLE_PERIOD, sample)
 
+    # Wire counters over the measurement window only (join/settle
+    # traffic above is excluded).  Both substrates expose the same
+    # NetworkStats surface; sim worlds reach it through the network
+    # (which may be a Coalescer — it delegates ``stats``).
+    wire = getattr(world, "stats", None)
+    if wire is None:
+        wire = world.network.stats
+    wire_bytes_before = int(wire.bytes_sent)
+    datagrams_before = int(wire.packets_sent)
+
     world.run(config.duration)
     sample()
     world.run(max(config.drain, 0.0))
@@ -368,6 +395,10 @@ def _run(world, config: LoadConfig) -> LoadReport:
     window = config.duration + max(config.drain, 0.0)
     report.goodput_bps = report.delivered_bytes / window
     report.goodput_mps = report.delivered / window
+    report.wire_bytes = int(wire.bytes_sent) - wire_bytes_before
+    report.datagrams = int(wire.packets_sent) - datagrams_before
+    report.wire_bytes_per_s = report.wire_bytes / window
+    report.datagrams_per_s = report.datagrams / window
     latencies.sort()
     report.p50_ms = _percentile(latencies, 0.50) * 1000.0
     report.p99_ms = _percentile(latencies, 0.99) * 1000.0

@@ -8,8 +8,10 @@ where it drops the message if the checksum does not match the contents
 of the message."
 
 The checksum covers everything the layer can see: the body plus every
-header pushed above it (canonically encoded).  Stack it directly above
-COM so as much of the packet as possible is protected.
+header pushed above it, canonically encoded with each owner name
+length-prefixed so distinct (owner, header) stacks can never collapse
+to the same covered bytes.  Stack it directly above COM so as much of
+the packet as possible is protected.
 """
 
 from __future__ import annotations

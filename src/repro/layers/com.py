@@ -55,12 +55,31 @@ class ComLayer(Layer):
         self.filter_sources = bool(config.get("filter_sources", False))
         #: Current destination set for casts (the "view" at this level).
         self.dests: List[EndpointAddress] = []
+        self._remote: List[EndpointAddress] = []
+        self._self_in_dests = False
         #: Spurious messages dropped by the source filter.
         self.filtered = 0
         #: Messages sent/received, for the dump downcall.
         self.casts_sent = 0
         self.sends_sent = 0
         self.delivered = 0
+        #: Reused marshalling scratch buffer (send-path buffer reuse).
+        self._send_buf = bytearray()
+        #: Table-mode wire state: COM owns the sender-side channel
+        #: encoders.  Casts share one channel (this endpoint's stream
+        #: into the group); each unicast peer gets its own channel,
+        #: because installs drained into a unicast would otherwise be
+        #: invisible to the rest of the group.  The epoch draws from the
+        #: stack's seeded stream so a rejoined sender gets a fresh epoch
+        #: and receivers drop the stale channel table.
+        self._table_mode = context.wire_mode == "table"
+        if self._table_mode:
+            self._channel = hdr.make_channel_encoder(
+                self.endpoint, self.group, epoch=context.rng.randrange(1 << 16)
+            )
+        else:
+            self._channel = None
+        self._peer_channels = {}
 
     # ------------------------------------------------------------------
     # Downcalls
@@ -76,7 +95,7 @@ class ComLayer(Layer):
             self._join()
         elif dtype is DowncallType.VIEW:
             if downcall.members is not None:
-                self.dests = list(downcall.members)
+                self._set_dests(downcall.members)
         elif dtype is DowncallType.LEAVE:
             self._leave()
         elif dtype is DowncallType.DESTROY:
@@ -91,7 +110,7 @@ class ComLayer(Layer):
             snapshot = directory.lookup(self.group)
         else:
             snapshot = [self.endpoint]
-        self.dests = list(snapshot)
+        self._set_dests(snapshot)
         # Report initial connectivity.  At this level a view "is nothing
         # but the set of destination endpoints" (Section 7) — epoch 0
         # marks it as connectivity, not agreed membership.
@@ -102,6 +121,28 @@ class ComLayer(Layer):
         )
         self.pass_up(Upcall(UpcallType.VIEW, view=view, members=list(snapshot)))
 
+    def _set_dests(self, members) -> None:
+        new_dests = list(members)
+        if self._table_mode and set(new_dests) - set(self.dests):
+            # The cast channel gained listeners who missed every earlier
+            # install: make the next multicast self-contained.
+            self._channel.refresh_all()
+        self.dests = new_dests
+        # Per-cast derived views, recomputed only on view changes.
+        self._remote = [d for d in new_dests if d != self.endpoint]
+        self._self_in_dests = self.endpoint in new_dests
+
+    def _peer_channel(self, member: EndpointAddress):
+        """The per-peer channel encoder for unicast sends to ``member``."""
+        channel = self._peer_channels.get(member)
+        if channel is None:
+            channel = hdr.make_channel_encoder(
+                self.endpoint, member,
+                epoch=self.context.rng.randrange(1 << 16),
+            )
+            self._peer_channels[member] = channel
+        return channel
+
     def _leave(self) -> None:
         directory = self.context.directory
         if directory is not None:
@@ -111,37 +152,66 @@ class ComLayer(Layer):
     def _cast(self, message: Optional[Message]) -> None:
         if message is None:
             return
-        message.push_header(
+        message.push_owned_header(
             self.name,
             {"group": self.group, "source": self.endpoint, "kind": _KIND_CAST},
         )
-        data = self.context.registry.marshal(message, self.context.wire_mode)
+        data = self.context.registry.marshal(
+            message, self.context.wire_mode,
+            channel=self._channel, into=self._send_buf,
+        )
         self.casts_sent += 1
-        remote = [d for d in self.dests if d != self.endpoint]
-        if self.endpoint in self.dests:
-            # A member delivers its own casts (loopback never hits the
-            # wire, but takes the same unmarshal path for fidelity).
-            self.context.scheduler.call_soon(self._loopback, data)
+        remote = self._remote
+        if self._self_in_dests:
+            # A member delivers its own casts.  Loopback never hits the
+            # wire, so it skips marshal/unmarshal entirely — and skips
+            # copying too: once marshalled, the sent message is owned by
+            # nobody (layers that retransmit buffered their own copy on
+            # the way down), so the object itself ascends the stack.
+            # The wire encoding is exercised by every remote receiver
+            # and by the round-trip/fuzz suites.
+            self.context.scheduler.call_soon(self._loopback_copy, message)
         if remote and self._alive():
             self.context.network.multicast(self.endpoint, remote, data)
 
     def _send(self, message: Optional[Message], members: List[EndpointAddress]) -> None:
         if message is None or not members:
             return
-        message.push_header(
+        message.push_owned_header(
             self.name,
             {"group": self.group, "source": self.endpoint, "kind": _KIND_SEND},
         )
-        data = self.context.registry.marshal(message, self.context.wire_mode)
         self.sends_sent += 1
+        if not self._table_mode:
+            data = self.context.registry.marshal(
+                message, self.context.wire_mode, into=self._send_buf,
+            )
+            for member in members:
+                if member == self.endpoint:
+                    self.context.scheduler.call_soon(self._loopback_copy, message)
+                elif self._alive():
+                    self.context.network.unicast(self.endpoint, member, data)
+            return
+        # Table mode marshals once per peer: each unicast channel tracks
+        # what its one receiver has installed, so pending installs drain
+        # into the datagram that actually reaches that receiver.
         for member in members:
             if member == self.endpoint:
-                self.context.scheduler.call_soon(self._loopback, data)
-            elif self._alive():
+                # Deferred past the loop by call_soon, so the per-peer
+                # marshals below still see the untouched header stack.
+                self.context.scheduler.call_soon(self._loopback_copy, message)
+                continue
+            data = self.context.registry.marshal(
+                message, self.context.wire_mode,
+                channel=self._peer_channel(member), into=self._send_buf,
+            )
+            if self._alive():
                 self.context.network.unicast(self.endpoint, member, data)
 
-    def _loopback(self, data: bytes) -> None:
-        message = self.context.registry.unmarshal(data)
+    def _loopback_copy(self, message: Message) -> None:
+        # Self-delivery without the wire codec: the very header dicts
+        # the sending layers pushed come back up, and upper layers pop
+        # exactly what they pushed.
         self._receive(message)
 
     def _alive(self) -> bool:
@@ -153,10 +223,28 @@ class ComLayer(Layer):
     # ------------------------------------------------------------------
 
     def handle_up(self, upcall: Upcall) -> None:
-        if upcall.message is None:
+        message = upcall.message
+        if message is None:
             self.pass_up(upcall)
             return
-        self._receive(upcall.message)
+        # Inline _receive, retagging and forwarding the incoming upcall
+        # itself — one event object rides the whole up traversal.
+        try:
+            header = message.pop_header(self.name)
+        except MessageError:
+            # Not ours — garbled or mis-stacked; drop rather than crash.
+            self.filtered += 1
+            return
+        source = header["source"]
+        if self.filter_sources and source not in self.dests:
+            self.filtered += 1
+            return
+        self.delivered += 1
+        upcall.type = (
+            UpcallType.CAST if header["kind"] == _KIND_CAST else UpcallType.SEND
+        )
+        upcall.source = source
+        self.pass_up(upcall)
 
     def _receive(self, message: Message) -> None:
         try:

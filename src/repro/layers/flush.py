@@ -112,7 +112,7 @@ class FlushLayer(Layer):
                     "origin": self.endpoint,
                 },
             )
-            self.store[(self.endpoint, self.my_seq)] = downcall.message.copy()
+            self.store[(self.endpoint, self.my_seq)] = downcall.message.shallow_copy()
         self.pass_down(downcall)
 
     # ------------------------------------------------------------------

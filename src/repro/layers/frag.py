@@ -77,7 +77,7 @@ class FragLayer(Layer):
         message = downcall.message
         size = message.body_size
         if size <= self.max_size:
-            message.push_header(self.name, {"last": True})
+            message.push_owned_header(self.name, {"last": True})
             self.pass_down(downcall)
             return
         # Emit all-but-last fragments as bare slice carriers...
@@ -86,7 +86,7 @@ class FragLayer(Layer):
             fragment = Message()
             for segment in message.slice_body(offset, offset + self.max_size):
                 fragment.add_segment(segment)
-            fragment.push_header(self.name, {"last": False})
+            fragment.push_owned_header(self.name, {"last": False})
             self.fragments_sent += 1
             self.pass_down(self._like(downcall, fragment))
             offset += self.max_size
@@ -94,7 +94,7 @@ class FragLayer(Layer):
         # the layers above) as the final fragment, body trimmed to the tail.
         tail = message.slice_body(offset, size)
         message._segments[:] = tail
-        message.push_header(self.name, {"last": True})
+        message.push_owned_header(self.name, {"last": True})
         self.fragments_sent += 1
         self.pass_down(downcall)
 
@@ -120,7 +120,7 @@ class FragLayer(Layer):
         if (
             upcall.type not in (UpcallType.CAST, UpcallType.SEND)
             or message is None
-            or message.peek_header(self.name) is None
+            or message.top_owner() != self.name
         ):
             self.pass_up(upcall)
             return

@@ -259,7 +259,7 @@ class MembershipLayer(Layer):
     def _cast_now(self, downcall: Downcall) -> None:
         self.my_seq += 1
         message = downcall.message
-        message.push_header(
+        message.push_owned_header(
             self.name,
             {
                 "kind": _DATA,
@@ -269,14 +269,14 @@ class MembershipLayer(Layer):
             },
         )
         if self.vs:
-            self.store[(self.endpoint, self.my_seq)] = message.copy()
+            self.store[(self.endpoint, self.my_seq)] = message.shallow_copy()
         self.pass_down(downcall)
 
     def _subset_send(self, downcall: Downcall) -> None:
         if self.view is None:
             return
         message = downcall.message
-        message.push_header(
+        message.push_owned_header(
             self.name,
             {
                 "kind": _SEND_DATA,
@@ -427,8 +427,7 @@ class MembershipLayer(Layer):
             self.trace("lost_message_below", detail=str(upcall.extra))
             return
         if utype in (UpcallType.CAST, UpcallType.SEND) and upcall.message is not None:
-            header = upcall.message.peek_header(self.name)
-            if header is None:
+            if upcall.message.top_owner() != self.name:
                 self.pass_up(upcall)
                 return
             self._dispatch(upcall)
@@ -437,11 +436,18 @@ class MembershipLayer(Layer):
 
     def _dispatch(self, upcall: Upcall) -> None:
         message = upcall.message
-        kind = message.peek_header(self.name)["kind"]
-        precopy = message.copy() if kind in (_DATA, _SEND_DATA) else None
         header = message.pop_header(self.name)
+        kind = header["kind"]
+        if kind in (_DATA, _SEND_DATA):
+            # The retransmission precopy keeps its own header entry (a
+            # relay's receiver pops it); the dict is shared — read-only
+            # by convention — so no deep copy.
+            precopy = message.shallow_copy()
+            precopy.push_owned_header(self.name, header)
+        else:
+            precopy = None
         if kind == _DATA:
-            self._on_data(header, message, precopy, upcall.type)
+            self._on_data(header, message, precopy, upcall)
         elif kind == _SEND_DATA:
             self._on_send_data(header, message, precopy, upcall.source)
         elif kind == _JOIN_REQ:
@@ -483,7 +489,7 @@ class MembershipLayer(Layer):
         header: Dict[str, Any],
         message: Message,
         precopy: Message,
-        utype: UpcallType,
+        upcall: Upcall,
     ) -> None:
         if self.view is None:
             self.stale_dropped += 1
@@ -495,7 +501,9 @@ class MembershipLayer(Layer):
             return
         origin = header["origin"]
         if vid > epoch:
-            self._future.setdefault(vid, []).append((precopy, origin, utype))
+            self._future.setdefault(vid, []).append(
+                (precopy, origin, upcall.type)
+            )
             return
         if not self.view.contains(origin):
             # Epochs are only unique per component; a concurrent view in
@@ -504,11 +512,34 @@ class MembershipLayer(Layer):
             self.stale_dropped += 1
             return
         seq = header["seq"]
-        if seq > self.delivered.get(origin, 0) + 65536:
+        delivered = self.delivered.get(origin, 0)
+        if seq > delivered + 65536:
             self.stale_dropped += 1  # garbled sequence number
             return
-        if seq <= self.delivered.get(origin, 0):
+        if seq <= delivered:
             return  # duplicate (e.g. a relay of something we had)
+        if seq == delivered + 1 and not self.pending.get(origin):
+            # In-order fast path (the steady state): deliver without the
+            # pending-slot round trip, reusing the incoming upcall when
+            # it already is the CAST it will leave as.
+            self.delivered[origin] = seq
+            if self.vs:
+                self.store[(origin, seq)] = precopy
+            if self.context.trace.enabled:
+                self.trace("deliver", origin=str(origin), seq=seq, vid=epoch)
+            if upcall.type is UpcallType.CAST:
+                upcall.source = origin
+                self.pass_up(upcall)
+            else:
+                self.pass_up(
+                    Upcall(UpcallType.CAST, message=message, source=origin)
+                )
+            if (
+                self._pending_install is not None
+                or self._premerge_vector is not None
+            ):
+                self._check_install()
+            return
         slot = self.pending.setdefault(origin, {})
         if seq in slot:
             return

@@ -160,10 +160,10 @@ class NakLayer(Layer):
     def _cast_data(self, downcall: Downcall) -> None:
         self._send_seq += 1
         message = downcall.message
-        message.push_header(
+        message.push_owned_header(
             self.name, {"kind": _DATA_M, "era": self._era, "seq": self._send_seq}
         )
-        self._buffer(self._sent[self._era], self._send_seq, message.copy())
+        self._buffer(self._sent[self._era], self._send_seq, message.shallow_copy())
         self.pass_down(downcall)
 
     def _send_data(self, downcall: Downcall) -> None:
@@ -172,9 +172,9 @@ class NakLayer(Layer):
             seq = self._usend_seq.get(dest, 0) + 1
             self._usend_seq[dest] = seq
             message = downcall.message.copy()
-            message.push_header(self.name, {"kind": _DATA_U, "seq": seq})
+            message.push_owned_header(self.name, {"kind": _DATA_U, "seq": seq})
             buffer = self._usent.setdefault(dest, OrderedDict())
-            self._buffer(buffer, seq, message.copy())
+            self._buffer(buffer, seq, message.shallow_copy())
             self.pass_down(
                 Downcall(DowncallType.SEND, message=message, members=[dest])
             )
@@ -235,7 +235,7 @@ class NakLayer(Layer):
             self.pass_up(upcall)
             return
         message = upcall.message
-        if message is None or message.peek_header(self.name) is None:
+        if message is None or message.top_owner() != self.name:
             self.pass_up(upcall)
             return
         header = message.pop_header(self.name)
@@ -243,9 +243,11 @@ class NakLayer(Layer):
         self._heard(source)
         kind = header["kind"]
         if kind in (_DATA_M, _GONE_M):
-            self._arrived_mcast(source, header["era"], header["seq"], kind, message)
+            self._arrived_mcast(
+                source, header["era"], header["seq"], kind, message, upcall
+            )
         elif kind in (_DATA_U, _GONE_U):
-            self._arrived_ucast(source, header["seq"], kind, message)
+            self._arrived_ucast(source, header["seq"], kind, message, upcall)
         elif kind == _STATUS:
             self._on_status(source, header["era"], header["seq"])
         elif kind == _USTATUS:
@@ -270,6 +272,7 @@ class NakLayer(Layer):
         seq: int,
         kind: int,
         message: Message,
+        upcall: Optional[Upcall] = None,
     ) -> None:
         if era < self._era:
             # Message from a view we already left; the flush protocol
@@ -280,7 +283,27 @@ class NakLayer(Layer):
         if seq > state.expected + _SEQ_SANITY:
             self.bogus_dropped += 1  # garbled sequence number
             return
-        state.known_max = max(state.known_max, seq)
+        # In-order fast path (the steady state): the next expected data
+        # message arrives as the CAST it will leave as — forward the
+        # incoming upcall itself instead of round-tripping through the
+        # pending dict and allocating a fresh event.
+        if (
+            era == self._era
+            and seq == state.expected
+            and kind == _DATA_M
+            and upcall is not None
+            and upcall.type is UpcallType.CAST
+        ):
+            state.expected = seq + 1
+            if seq > state.known_max:
+                state.known_max = seq
+            self.pass_up(upcall)
+            if state.pending:
+                self._drain(state, source, space=0)
+            self._maybe_schedule_nak(state, source, space=0, era=era)
+            return
+        if seq > state.known_max:
+            state.known_max = seq
         if seq < state.expected or seq in state.pending:
             self.duplicates_dropped += 1
         else:
@@ -292,13 +315,34 @@ class NakLayer(Layer):
         # view; _advance_era will drain.
 
     def _arrived_ucast(
-        self, source: EndpointAddress, seq: int, kind: int, message: Message
+        self,
+        source: EndpointAddress,
+        seq: int,
+        kind: int,
+        message: Message,
+        upcall: Optional[Upcall] = None,
     ) -> None:
         state = self._ucast.setdefault(source, _RecvState())
         if seq > state.expected + _SEQ_SANITY:
             self.bogus_dropped += 1
             return
-        state.known_max = max(state.known_max, seq)
+        # In-order fast path, mirroring _arrived_mcast.
+        if (
+            seq == state.expected
+            and kind == _DATA_U
+            and upcall is not None
+            and upcall.type is UpcallType.SEND
+        ):
+            state.expected = seq + 1
+            if seq > state.known_max:
+                state.known_max = seq
+            self.pass_up(upcall)
+            if state.pending:
+                self._drain(state, source, space=1)
+            self._maybe_schedule_nak(state, source, space=1, era=0)
+            return
+        if seq > state.known_max:
+            state.known_max = seq
         if seq < state.expected or seq in state.pending:
             self.duplicates_dropped += 1
         else:

@@ -4,7 +4,9 @@
 dependent on a secret key), making it impossible for a malignant
 intruder to impersonate a member process of the application."
 
-A keyed HMAC (SHA-256, truncated) over the canonical content.  All
+A keyed HMAC (SHA-256, truncated) over the canonical content — body
+plus the headers above this layer, with owner names length-prefixed in
+the covered bytes so no two header stacks share an encoding.  All
 group members share the key (group-key distribution is the KEYDIST
 protocol type of Figure 1; here the key arrives via layer config).
 """

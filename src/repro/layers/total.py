@@ -122,7 +122,7 @@ class TotalOrderLayer(Layer):
         batch = 0
         while self.pending_out and batch < self.max_batch:
             downcall = self.pending_out.popleft()
-            downcall.message.push_header(
+            downcall.message.push_owned_header(
                 self.name,
                 {"kind": _DATA, "gseq": self.next_gseq, "epoch": self._epoch},
             )
@@ -179,11 +179,10 @@ class TotalOrderLayer(Layer):
         if upcall.type is not UpcallType.CAST or upcall.message is None:
             self.pass_up(upcall)
             return
-        header = upcall.message.peek_header(self.name)
-        if header is None:
+        if upcall.message.top_owner() != self.name:
             self.pass_up(upcall)
             return
-        upcall.message.pop_header(self.name)
+        header = upcall.message.pop_header(self.name)
         epoch = header["epoch"]
         if epoch < self._epoch:
             # Sent in a view we have already left.  The view change
@@ -205,7 +204,19 @@ class TotalOrderLayer(Layer):
     def _on_total(self, header, upcall: Upcall) -> None:
         kind = header["kind"]
         if kind == _DATA:
-            self.buffer[header["gseq"]] = (upcall.message, upcall.source)
+            gseq = header["gseq"]
+            if gseq == self.next_deliver and not self.buffer:
+                # In-order fast path (the steady state): deliver the
+                # incoming upcall directly instead of round-tripping
+                # through the reorder buffer and allocating a new event.
+                self.next_deliver = gseq + 1
+                self.delivered += 1
+                if self.context.trace.enabled:
+                    self.trace("total_deliver", gseq=gseq)
+                upcall.extra["total_seq"] = gseq
+                self.pass_up(upcall)
+                return
+            self.buffer[gseq] = (upcall.message, upcall.source)
             self._drain()
         elif kind == _REQ:
             if upcall.source not in self.requests:
@@ -231,7 +242,8 @@ class TotalOrderLayer(Layer):
             )
             self.next_deliver += 1
             self.delivered += 1
-            self.trace("total_deliver", gseq=self.next_deliver - 1)
+            if self.context.trace.enabled:
+                self.trace("total_deliver", gseq=self.next_deliver - 1)
             self.pass_up(upcall)
 
     def _new_view(self, upcall: Upcall) -> None:

@@ -20,6 +20,7 @@ paper mentions:
 
 from repro.net.address import EndpointAddress, GroupAddress
 from repro.net.atm import AtmNetwork
+from repro.net.coalesce import Coalescer, decode_batch
 from repro.net.faults import FaultModel
 from repro.net.lan import LanNetwork
 from repro.net.network import Network, NetworkStats
@@ -30,6 +31,8 @@ from repro.net.wan import Link, WanNetwork
 
 __all__ = [
     "AtmNetwork",
+    "Coalescer",
+    "decode_batch",
     "Link",
     "WanNetwork",
     "EndpointAddress",

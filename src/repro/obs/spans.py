@@ -197,7 +197,7 @@ class StackObserver:
     """
 
     __slots__ = ("clock", "spans", "header_registry", "endpoint", "group",
-                 "skipping",
+                 "skipping", "wire_mode",
                  "_frames", "_span", "_events", "_self_time", "_hdr_bytes",
                  "_queue_wait", "_span_count", "_span_children",
                  "_children", "_codecs",
@@ -213,8 +213,13 @@ class StackObserver:
         endpoint: str = "",
         group: str = "",
         sample: int = 1,
+        wire_mode: str = "aligned",
     ) -> None:
         self.clock = clock
+        #: The world's wire mode, so header-byte accounting reflects
+        #: what the mode actually puts on the wire (see
+        #: :meth:`_header_wire_size`).
+        self.wire_mode = wire_mode
         self.spans = spans if (spans is not None and spans.enabled) else None
         self._sample = max(1, int(sample))
         self._span_seq = 0
@@ -459,7 +464,16 @@ class StackObserver:
         return children
 
     def _header_wire_size(self, layer: str, header: Optional[Dict]) -> int:
-        """Wire bytes of one layer's header, 0 when it cannot be sized."""
+        """Wire bytes of one layer's header, 0 when it cannot be sized.
+
+        Mode-aware: ``packed`` charges the bit-packed size rounded up to
+        whole bytes; every other mode charges the canonical byte
+        encoding.  For ``table`` that canonical size is the honest
+        *pre-compression* figure — the compressed size depends on the
+        channel's dynamic-table state at marshal time, which this seam
+        cannot see, so the counter stays deterministic and the bench
+        reports the post-compression bytes from the network counters.
+        """
         if header is None:
             return 0
         codec = self._codecs.get(layer)
@@ -473,6 +487,8 @@ class StackObserver:
         elif codec is False:
             return 0
         try:
+            if self.wire_mode == "packed":
+                return (codec.bit_size(header) + 7) // 8
             return codec.wire_size(header)
         except Exception:
             # A half-built header (filled in lower down) is not an

@@ -122,8 +122,32 @@ class RealtimeEngine(Clock):
 
         Returns the predicate's final value.  ``poll`` bounds how stale
         the check may be; I/O and timers still run continuously.
+        ``poll=0`` re-checks between event-loop iterations instead of
+        sleeping: zero staleness and no sleep-quantum overshoot, at the
+        price of a busy loop — closed-loop benchmarks use it so pacing
+        gaps measure the stack, not the poll granularity.
         """
         deadline = self.now + timeout
+        if poll <= 0:
+            if predicate():
+                return True
+            if self._running:
+                raise RuntimeError("engine is not re-entrant")
+            future = self._loop.create_future()
+
+            def check() -> None:
+                if predicate() or self.now >= deadline:
+                    future.set_result(None)
+                else:
+                    self._loop.call_soon(check)
+
+            self._loop.call_soon(check)
+            self._running = True
+            try:
+                self._loop.run_until_complete(future)
+            finally:
+                self._running = False
+            return bool(predicate())
         while not predicate():
             remaining = deadline - self.now
             if remaining <= 0:

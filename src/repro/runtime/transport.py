@@ -19,14 +19,22 @@ experiences independent loss and delay.
 
 Wire format (network byte order)::
 
-    magic   4s   b"HRS1"
+    magic   4s   b"HRS2"
     sent    d    sender's CLOCK_MONOTONIC timestamp (latency accounting;
                  comparable across processes on one machine)
     srclen  H    length of marshalled source EndpointAddress
     dstlen  H    length of marshalled destination EndpointAddress
+    flags   B    bit 0: payload was garbled by injected faults
     src     srclen bytes
     dst     dstlen bytes
     payload rest (the marshalled message with all layer headers)
+
+The flags byte carries fault-injection metadata the simulated network
+keeps on its :class:`~repro.net.packet.Packet`: a *deliberately*
+garbled payload is marked so the receiver can route it through the
+eager (validating) unmarshal path, mirroring the DES exactly.  Real
+wire corruption is caught by the UDP checksum and surfaces as loss,
+which is consistent with the model.
 
 The ``mtu`` bounds the *payload*, exactly as in the simulation, so a
 FRAG/NFRAG layer tuned for the simulated substrate fragments identically
@@ -53,8 +61,11 @@ from repro.sim.rand import derive_seed
 
 DeliveryCallback = Callable[[Packet], None]
 
-_MAGIC = b"HRS1"
-_HEADER = struct.Struct("!4sdHH")
+_MAGIC = b"HRS2"
+_HEADER = struct.Struct("!4sdHHB")
+
+#: Frame flag bits.
+FLAG_GARBLED = 0x01
 
 #: Payload bound leaving room for frame + IP/UDP headers inside a
 #: standard 1500-byte ethernet MTU.
@@ -62,19 +73,28 @@ DEFAULT_MTU = 1400
 
 
 def encode_frame(
-    source: EndpointAddress, dest: EndpointAddress, payload: bytes, sent_at: float
+    source: EndpointAddress,
+    dest: EndpointAddress,
+    payload: bytes,
+    sent_at: float,
+    flags: int = 0,
 ) -> bytes:
     """Serialize one datagram frame."""
     src = source.marshal()
     dst = dest.marshal()
-    return _HEADER.pack(_MAGIC, sent_at, len(src), len(dst)) + src + dst + payload
+    return (
+        _HEADER.pack(_MAGIC, sent_at, len(src), len(dst), flags)
+        + src + dst + payload
+    )
 
 
-def decode_frame(data: bytes) -> Tuple[EndpointAddress, EndpointAddress, float, bytes]:
+def decode_frame(
+    data: bytes,
+) -> Tuple[EndpointAddress, EndpointAddress, float, bytes, int]:
     """Parse one datagram frame; raises :class:`NetworkError` if malformed."""
     if len(data) < _HEADER.size:
         raise NetworkError("datagram shorter than frame header")
-    magic, sent_at, src_len, dst_len = _HEADER.unpack_from(data)
+    magic, sent_at, src_len, dst_len, flags = _HEADER.unpack_from(data)
     if magic != _MAGIC:
         raise NetworkError(f"bad frame magic {magic!r}")
     offset = _HEADER.size
@@ -84,7 +104,7 @@ def decode_frame(data: bytes) -> Tuple[EndpointAddress, EndpointAddress, float, 
     offset += src_len
     dest = EndpointAddress.unmarshal(data[offset : offset + dst_len])
     offset += dst_len
-    return source, dest, sent_at, data[offset:]
+    return source, dest, sent_at, data[offset:], flags
 
 
 class _NodeProtocol(asyncio.DatagramProtocol):
@@ -305,17 +325,18 @@ class UdpTransport:
         if len(deliveries) > 1:
             self.stats.packets_duplicated += 1
         for delay, data, garbled in deliveries:
+            flags = FLAG_GARBLED if garbled else 0
             if garbled:
-                # The receive side cannot know a frame was deliberately
-                # garbled (no flag crosses the wire), so unlike the DES
-                # network this counter is kept at the injection point.
+                # Counted at the injection point; the frame also carries
+                # the flag so the receiver can validate eagerly, exactly
+                # like the DES network's Packet.garbled.
                 self.stats.packets_garbled += 1
             if delay > 0:
                 self.engine.call_after(
-                    delay, self._emit_frame, source, dest, data, target
+                    delay, self._emit_frame, source, dest, data, target, flags
                 )
             else:
-                self._emit_frame(source, dest, data, target)
+                self._emit_frame(source, dest, data, target, flags)
 
     def _emit_frame(
         self,
@@ -323,6 +344,7 @@ class UdpTransport:
         dest: EndpointAddress,
         payload: bytes,
         target: Tuple[str, int],
+        flags: int = 0,
     ) -> None:
         """Late socket write for fault-injected (possibly delayed) frames."""
         if self._closed:
@@ -330,7 +352,9 @@ class UdpTransport:
         sock = self._socks.get(source.node)
         if sock is None or sock.is_closing() or not self.node_alive(source.node):
             return
-        sock.sendto(encode_frame(source, dest, payload, time.monotonic()), target)
+        sock.sendto(
+            encode_frame(source, dest, payload, time.monotonic(), flags), target
+        )
 
     def multicast(
         self,
@@ -352,7 +376,7 @@ class UdpTransport:
     def _on_datagram(self, data: bytes) -> None:
         """Socket receive path: decode the frame, demux to the endpoint."""
         try:
-            source, dest, sent_at, payload = decode_frame(data)
+            source, dest, sent_at, payload, flags = decode_frame(data)
         except NetworkError:
             self.stats.packets_undecodable += 1
             return
@@ -368,7 +392,15 @@ class UdpTransport:
             return
         latency = time.monotonic() - sent_at
         self.stats.note_delivery(len(payload), latency)
-        callback(Packet(source=source, dest=dest, payload=payload, sent_at=sent_at))
+        callback(
+            Packet(
+                source=source,
+                dest=dest,
+                payload=payload,
+                sent_at=sent_at,
+                garbled=bool(flags & FLAG_GARBLED),
+            )
+        )
 
     def __repr__(self) -> str:
         return (

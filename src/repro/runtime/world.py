@@ -36,11 +36,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
-from repro.core.headers import DEFAULT_REGISTRY, HeaderRegistry
+from repro.core.headers import DEFAULT_REGISTRY, HeaderRegistry, WIRE_MODES
 from repro.core.process import Process
 from repro.errors import ConfigurationError
 from repro.membership.directory import GroupDirectory
 from repro.net.address import EndpointAddress, GroupAddress
+from repro.net.coalesce import Coalescer
 from repro.obs import MetricsRegistry, ObsOptions, SpanRecorder, write_jsonl
 from repro.runtime.engine import RealtimeEngine
 from repro.runtime.metrics import TransportStats
@@ -64,8 +65,9 @@ class RealtimeWorld:
         obs: Optional[ObsOptions] = None,
         metrics: Optional[MetricsRegistry] = None,
         store: Optional[Any] = None,
+        coalesce: Any = False,
     ) -> None:
-        if wire_mode not in ("aligned", "compact", "packed"):
+        if wire_mode not in WIRE_MODES:
             raise ConfigurationError(f"unknown wire mode {wire_mode!r}")
         self.engine = RealtimeEngine()
         #: Name parity with the DES world — this is what Process wraps.
@@ -91,6 +93,11 @@ class RealtimeWorld:
         )
         self._owns_store = store is None
         self.network = UdpTransport(self.engine, mtu=mtu, metrics=self.metrics)
+        if coalesce:
+            # Same COM-seam batching as the DES world, timed by the
+            # wall-clock engine instead of the simulated scheduler.
+            options = coalesce if isinstance(coalesce, dict) else {}
+            self.network = Coalescer(self.network, self.engine, **options)
         self._host = host
         self._processes: Dict[str, Process] = {}
 

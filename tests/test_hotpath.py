@@ -1,0 +1,499 @@
+"""Bytes-first hot path: lazy unmarshal, table compression, coalescing.
+
+The ISSUE 7 test surface:
+
+* round-trip matrix — every wire mode x every registered layer codec;
+* truncation / garble fuzzing — a damaged datagram either raises
+  :class:`HeaderError` or decodes to a well-formed message, and the
+  lazy path always agrees with the eager path (never a wrong decode);
+* lazy-message parity with eager decode;
+* bit-IO byte-aligned fast paths pinned against the bit-by-bit slow
+  path at odd offsets;
+* the ``canonical_content`` framing-collision regression;
+* batch-frame coalescing: round-trip, rejected-whole corruption, and
+  the Clock-driven flush budget.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+import repro.layers  # noqa: F401 -- populates DEFAULT_REGISTRY
+from repro.core import headers as hdr
+from repro.core.headers import (
+    DEFAULT_REGISTRY,
+    WIRE_MODES,
+    BitReader,
+    BitWriter,
+    HeaderRegistry,
+    HeaderTableStore,
+    canonical_content,
+    make_channel_encoder,
+)
+from repro.core.message import Message
+from repro.errors import HeaderError
+from repro.net.address import EndpointAddress, GroupAddress
+from repro.net.coalesce import Coalescer, decode_batch
+from repro.net.packet import Packet
+
+SRC = EndpointAddress("alice", 1)
+GRP = GroupAddress("grp")
+
+
+def sample_value(ftype, salt: int):
+    """A deterministic, type-appropriate value for any field type."""
+    kind = type(ftype).__name__
+    if kind == "_UInt":
+        return (salt * 7919 + 13) % (1 << ftype._bits)
+    if kind == "_Bool":
+        return salt % 2 == 0
+    if kind == "_Float":
+        return salt * 0.4375  # exact in binary
+    if kind == "_Text":
+        return f"value-{salt}"
+    if kind == "_VarBytes":
+        return bytes([salt % 251]) * (salt % 6 + 1)
+    if kind == "_Address":
+        return EndpointAddress(f"node{salt % 5}", salt % 4)
+    if kind == "_Group":
+        return GroupAddress(f"group{salt % 3}")
+    if kind == "ListOf":
+        return [sample_value(ftype.element, salt + i) for i in range(2)]
+    if kind == "MapOf":
+        return {
+            sample_value(ftype.key, salt + i):
+                sample_value(ftype.value, salt + i + 7)
+            for i in range(2)
+        }
+    raise AssertionError(f"unhandled field type {kind}")
+
+
+def full_header(codec, salt: int) -> dict:
+    return {
+        name: sample_value(ftype, salt + j)
+        for j, (name, ftype) in enumerate(codec.fields)
+    }
+
+
+def registered_layers():
+    return sorted(DEFAULT_REGISTRY._by_name)
+
+
+def marshal_mode(registry, message, mode, channel=None):
+    if mode == "table" and channel is None:
+        channel = make_channel_encoder(SRC, GRP, epoch=9)
+    return registry.marshal(message, mode, channel=channel)
+
+
+def unmarshal_mode(registry, data, mode, lazy=False, tables=None):
+    if mode == "table" and tables is None:
+        tables = HeaderTableStore()
+    return registry.unmarshal(data, lazy=lazy, tables=tables)
+
+
+class TestRoundTripMatrix:
+    """Every wire mode x every registered layer codec."""
+
+    @pytest.mark.parametrize("mode", WIRE_MODES)
+    @pytest.mark.parametrize("layer", registered_layers())
+    def test_single_header_roundtrip(self, mode, layer):
+        codec = DEFAULT_REGISTRY.codec_for(layer)
+        header = full_header(codec, salt=3)
+        msg = Message(b"matrix body")
+        msg.push_header(layer, header)
+        data = marshal_mode(DEFAULT_REGISTRY, msg, mode)
+        for lazy in (False, True):
+            if mode == "packed" and lazy:
+                continue  # packed is a sequential bit stream: always eager
+            out = unmarshal_mode(DEFAULT_REGISTRY, data, mode, lazy=lazy)
+            assert out.pop_header(layer) == header
+            assert out.body_bytes() == b"matrix body"
+
+    @pytest.mark.parametrize("mode", WIRE_MODES)
+    def test_full_stack_roundtrip(self, mode):
+        layers = registered_layers()
+        msg = Message(b"deep body")
+        for i, layer in enumerate(layers):
+            msg.push_header(layer, full_header(
+                DEFAULT_REGISTRY.codec_for(layer), salt=i))
+        data = marshal_mode(DEFAULT_REGISTRY, msg, mode)
+        out = unmarshal_mode(DEFAULT_REGISTRY, data, mode)
+        assert [(o, dict(h)) for o, h in out.headers()] == \
+               [(o, dict(h)) for o, h in msg.headers()]
+        assert out.body_bytes() == b"deep body"
+
+
+def build_sample(mode, channel=None):
+    msg = Message(b"fuzz body bytes")
+    for i, layer in enumerate(("COM", "NAK", "FRAG", "TOTAL")):
+        msg.push_header(layer, full_header(
+            DEFAULT_REGISTRY.codec_for(layer), salt=i))
+    return marshal_mode(DEFAULT_REGISTRY, msg, mode, channel=channel)
+
+
+def force_decode(message):
+    """Materialize every lazy header (what the layers do en route up)."""
+    headers = message.headers()
+    return headers, message.body_bytes()
+
+
+class TestFuzzing:
+    """Damaged datagrams: HeaderError or a clean decode, never a crash,
+    and lazy always agrees with eager."""
+
+    @pytest.mark.parametrize("mode", WIRE_MODES)
+    def test_every_truncation_point_raises(self, mode):
+        data = build_sample(mode)
+        for cut in range(len(data)):
+            with pytest.raises(HeaderError):
+                unmarshal_mode(DEFAULT_REGISTRY, data[:cut], mode)
+
+    @pytest.mark.parametrize("mode", ("aligned", "compact", "table"))
+    def test_lazy_truncation_matches_eager(self, mode):
+        data = build_sample(mode)
+        for cut in range(len(data)):
+            # Lazy does the same structural validation up front, so a
+            # truncated datagram fails at unmarshal, not later.
+            with pytest.raises(HeaderError):
+                unmarshal_mode(DEFAULT_REGISTRY, data[:cut], mode, lazy=True)
+
+    @pytest.mark.parametrize("mode", ("aligned", "compact", "table"))
+    def test_byte_flips_lazy_agrees_with_eager(self, mode):
+        data = build_sample(mode)
+        for pos in range(len(data)):
+            garbled = bytearray(data)
+            garbled[pos] ^= 0x5A
+            garbled = bytes(garbled)
+            try:
+                eager = force_decode(
+                    unmarshal_mode(DEFAULT_REGISTRY, garbled, mode))
+            except HeaderError:
+                eager = "rejected"
+            try:
+                lazy = force_decode(
+                    unmarshal_mode(DEFAULT_REGISTRY, garbled, mode, lazy=True))
+            except HeaderError:
+                lazy = "rejected"
+            assert lazy == eager, f"divergence at byte {pos}"
+
+    def test_packed_byte_flips_never_crash(self):
+        data = build_sample("packed")
+        for pos in range(len(data)):
+            garbled = bytearray(data)
+            garbled[pos] ^= 0x5A
+            try:
+                force_decode(unmarshal_mode(
+                    DEFAULT_REGISTRY, bytes(garbled), "packed"))
+            except HeaderError:
+                pass
+
+
+class TestLazyParity:
+    @pytest.mark.parametrize("mode", ("aligned", "compact", "table"))
+    def test_lazy_equals_eager(self, mode):
+        data = build_sample(mode)
+        eager = unmarshal_mode(DEFAULT_REGISTRY, data, mode)
+        lazy = unmarshal_mode(DEFAULT_REGISTRY, data, mode, lazy=True)
+        assert force_decode(lazy) == force_decode(eager)
+
+    def test_lazy_body_is_a_view_until_asked(self):
+        data = build_sample("compact")
+        lazy = DEFAULT_REGISTRY.unmarshal(data, lazy=True)
+        assert isinstance(lazy._segments[0], memoryview)
+        assert lazy.body_bytes() == b"fuzz body bytes"
+
+    def test_lazy_pop_and_peek_materialize(self):
+        msg = Message(b"b")
+        header = full_header(DEFAULT_REGISTRY.codec_for("FRAG"), salt=1)
+        msg.push_header("FRAG", header)
+        data = DEFAULT_REGISTRY.marshal(msg, "compact")
+        lazy = DEFAULT_REGISTRY.unmarshal(data, lazy=True)
+        assert lazy.peek_header("FRAG") == header
+        assert lazy.pop_header("FRAG") == header
+
+
+class TestHeaderTableMode:
+    def test_steady_state_is_smaller(self):
+        channel = make_channel_encoder(SRC, GRP, epoch=5)
+        tables = HeaderTableStore()
+        sizes = []
+        for seq in range(4):
+            msg = Message(b"steady")
+            msg.push_header("COM", {"group": GRP, "source": SRC, "kind": 0})
+            msg.push_header("NAK", {"kind": 0, "era": 1, "seq": 1000 + seq,
+                                    "lo": 0, "hi": 0})
+            data = DEFAULT_REGISTRY.marshal(msg, "table", channel=channel)
+            out = DEFAULT_REGISTRY.unmarshal(data, tables=tables)
+            assert out.pop_header("NAK")["seq"] == 1000 + seq
+            assert out.pop_header("COM")["source"] == SRC
+            sizes.append(len(data))
+        # First datagram carries the installs; the rest reference them.
+        assert sizes[1] < sizes[0]
+        assert sizes[1] == sizes[2] == sizes[3]
+        compact = len(DEFAULT_REGISTRY.marshal(msg, "compact"))
+        assert sizes[1] < compact
+
+    def test_lost_install_is_a_header_error_not_a_wrong_decode(self):
+        channel = make_channel_encoder(SRC, GRP, epoch=5)
+        first = build_sample("table", channel=channel)   # carries installs
+        second = build_sample("table", channel=channel)  # references only
+        fresh = HeaderTableStore()
+        with pytest.raises(HeaderError):
+            force_decode(DEFAULT_REGISTRY.unmarshal(second, tables=fresh))
+        # A receiver that saw the installs decodes the same bytes fine.
+        seen = HeaderTableStore()
+        force_decode(DEFAULT_REGISTRY.unmarshal(first, tables=seen))
+        force_decode(DEFAULT_REGISTRY.unmarshal(second, tables=seen))
+
+    def test_refresh_all_makes_next_datagram_self_contained(self):
+        channel = make_channel_encoder(SRC, GRP, epoch=5)
+        build_sample("table", channel=channel)
+        channel.refresh_all()
+        refreshed = build_sample("table", channel=channel)
+        late = HeaderTableStore()  # a member that just joined
+        force_decode(DEFAULT_REGISTRY.unmarshal(refreshed, tables=late))
+
+    def test_epoch_change_resets_receiver_table(self):
+        old = make_channel_encoder(SRC, GRP, epoch=1)
+        tables = HeaderTableStore()
+        force_decode(DEFAULT_REGISTRY.unmarshal(
+            build_sample("table", channel=old), tables=tables))
+        # Same channel id, new epoch (a rejoined sender): stale entries
+        # must not leak into the new incarnation.
+        new = make_channel_encoder(SRC, GRP, epoch=2)
+        force_decode(DEFAULT_REGISTRY.unmarshal(
+            build_sample("table", channel=new), tables=tables))
+        stale_refs = build_sample("table", channel=old)
+        with pytest.raises(HeaderError):
+            force_decode(DEFAULT_REGISTRY.unmarshal(stale_refs, tables=tables))
+
+    def test_table_mode_requires_a_channel(self):
+        msg = Message(b"x")
+        msg.push_header("FRAG", {"last": True})
+        with pytest.raises(HeaderError):
+            DEFAULT_REGISTRY.marshal(msg, "table")
+
+
+class TestBitIOFastPath:
+    """The byte-aligned fast paths must be invisible at every offset."""
+
+    PAYLOAD = bytes(range(64))
+
+    @pytest.mark.parametrize("offset", (0, 1, 3, 5, 7, 8, 11))
+    def test_write_bytes_matches_per_byte_writes(self, offset):
+        fast = BitWriter()
+        fast.write(0x2A & ((1 << offset) - 1) if offset else 0, offset)
+        fast.write_bytes(self.PAYLOAD)
+        slow = BitWriter()
+        slow.write(0x2A & ((1 << offset) - 1) if offset else 0, offset)
+        for byte in self.PAYLOAD:
+            slow.write(byte, 8)
+        assert fast.getvalue() == slow.getvalue()
+
+    @pytest.mark.parametrize("offset", (0, 1, 3, 5, 7, 8, 11))
+    def test_read_bytes_matches_per_byte_reads(self, offset):
+        writer = BitWriter()
+        writer.write(0, offset)
+        writer.write_bytes(self.PAYLOAD)
+        data = writer.getvalue()
+        fast = BitReader(data)
+        fast.read(offset)
+        assert fast.read_bytes(len(self.PAYLOAD)) == self.PAYLOAD
+        slow = BitReader(data)
+        slow.read(offset)
+        assert bytes(slow.read(8) for _ in self.PAYLOAD) == self.PAYLOAD
+
+    def test_read_bytes_zero_and_exhaustion(self):
+        reader = BitReader(b"ab")
+        assert reader.read_bytes(0) == b""
+        assert reader.read_bytes(2) == b"ab"
+        with pytest.raises(HeaderError):
+            reader.read_bytes(1)
+
+
+class TestCanonicalContentFraming:
+    def test_owner_name_framing_cannot_collide(self):
+        registry = HeaderRegistry()
+        for name in ("AB", "C", "A", "BC"):
+            registry.register(hdr.HeaderCodec(name, fields=[]))
+        one = Message(b"body")
+        one.push_header("AB", {})
+        one.push_header("C", {})
+        two = Message(b"body")
+        two.push_header("A", {})
+        two.push_header("BC", {})
+        # Without length-prefixed owner names both would frame as
+        # b"AB" + b"C" + body == b"A" + b"BC" + body.
+        assert canonical_content(registry, one) != canonical_content(registry, two)
+
+    def test_owner_names_are_length_prefixed(self):
+        registry = HeaderRegistry()
+        registry.register(hdr.HeaderCodec("XY", fields=[]))
+        msg = Message(b"tail")
+        msg.push_header("XY", {})
+        content = canonical_content(registry, msg)
+        assert content == struct.pack(">H", 2) + b"XY" + b"tail"
+
+
+class _StubClock:
+    """Captures call_after so tests fire flush timers by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.timers = []
+
+    def call_after(self, delay, fn, *args):
+        self.timers.append((delay, fn, args))
+
+    def fire_all(self):
+        timers, self.timers = self.timers, []
+        for _, fn, args in timers:
+            fn(*args)
+
+
+class _StubNet:
+    mtu = 200
+
+    def __init__(self):
+        self.sent = []
+        self.delivered = []
+
+    def unicast(self, source, dest, payload):
+        self.sent.append(("u", source, dest, bytes(payload)))
+
+    def multicast(self, source, dests, payload):
+        self.sent.append(("m", source, tuple(dests), bytes(payload)))
+
+    def attach(self, address, deliver):
+        self.deliver = deliver
+
+
+A = EndpointAddress("a", 0)
+B = EndpointAddress("b", 0)
+C = EndpointAddress("c", 0)
+
+
+class TestCoalescer:
+    def make(self, **kw):
+        net, clock = _StubNet(), _StubClock()
+        return Coalescer(net, clock, **kw), net, clock
+
+    def test_batch_roundtrip(self):
+        co, net, clock = self.make(max_batch=3)
+        payloads = [b"one", b"two", b"three"]
+        for p in payloads:
+            co.unicast(A, B, p)
+        assert len(net.sent) == 1  # max_batch flush, no timer needed
+        kind, src, dst, wire = net.sent[0]
+        assert (kind, src, dst) == ("u", A, B)
+        assert decode_batch(wire) == payloads
+        assert co.batches_sent == 1 and co.messages_batched == 3
+
+    def test_singleton_flush_is_raw(self):
+        co, net, clock = self.make()
+        co.unicast(A, B, b"lonely")
+        assert not net.sent
+        clock.fire_all()
+        assert net.sent == [("u", A, B, b"lonely")]
+        assert co.batches_sent == 0
+        assert decode_batch(b"lonely") is None
+
+    def test_mtu_forces_flush(self):
+        co, net, clock = self.make(max_batch=100)
+        co.unicast(A, B, b"x" * 120)
+        co.unicast(A, B, b"y" * 120)  # cannot share a 200 B datagram
+        assert len(net.sent) == 1
+        assert decode_batch(net.sent[0][3]) is None  # singleton went raw
+
+    def test_oversize_bypasses_after_flushing(self):
+        co, net, clock = self.make()
+        co.unicast(A, B, b"small")
+        co.unicast(A, B, b"z" * 199)  # > mtu - overhead: straight down
+        assert [p[3] for p in net.sent] == [b"small", b"z" * 199]
+
+    def test_multicast_and_unicast_do_not_mix(self):
+        co, net, clock = self.make(max_batch=2)
+        co.multicast(A, (B, C), b"m1")
+        co.unicast(A, B, b"u1")
+        co.multicast(A, (B, C), b"m2")
+        kinds = [s[0] for s in net.sent]
+        assert kinds == ["m"]  # multicast pair flushed; unicast pending
+        clock.fire_all()
+        assert ("u", A, B, b"u1") in net.sent
+
+    def test_timer_flush_respects_generation(self):
+        co, net, clock = self.make(max_batch=2)
+        co.unicast(A, B, b"p1")
+        co.unicast(A, B, b"p2")          # flushed by count
+        co.unicast(A, B, b"p3")          # new buffer, new timer
+        clock.fire_all()                  # stale timer no-ops, fresh flushes
+        assert len(net.sent) == 2
+        assert decode_batch(net.sent[0][3]) == [b"p1", b"p2"]
+        assert net.sent[1][3] == b"p3"
+
+    def test_receive_unwraps_batches(self):
+        co, net, clock = self.make(max_batch=2)
+        got = []
+        co.attach(B, got.append)
+        co.unicast(A, B, b"r1")
+        co.unicast(A, B, b"r2")
+        wire = net.sent[0][3]
+        net.deliver(Packet(source=A, dest=B, payload=wire, sent_at=1.0))
+        assert [p.payload for p in got] == [b"r1", b"r2"]
+        assert all(p.source == A and p.sent_at == 1.0 for p in got)
+
+    def test_corrupt_batch_rejected_whole(self):
+        co, net, clock = self.make(max_batch=2)
+        got = []
+        co.attach(B, got.append)
+        co.unicast(A, B, b"c1")
+        co.unicast(A, B, b"c2")
+        wire = net.sent[0][3]
+        for bad in (wire[:-1], wire + b"!", wire[:5]):
+            net.deliver(Packet(source=A, dest=B, payload=bad))
+        net.deliver(Packet(source=A, dest=B, payload=wire, garbled=True))
+        assert got == []
+        assert co.batches_rejected == 4
+
+    def test_non_batch_passes_through(self):
+        co, net, clock = self.make()
+        got = []
+        co.attach(B, got.append)
+        pkt = Packet(source=A, dest=B, payload=b"plain datagram")
+        net.deliver(pkt)
+        assert got == [pkt]
+
+
+class TestCoalescedWorld:
+    """End to end on the DES: the full stack over a coalescing network."""
+
+    @staticmethod
+    def run_workload(coalesce):
+        from repro.core.process import World
+
+        stack = "TOTAL:MBRSHIP:FRAG(max_size=900):NAK:COM"
+        world = World(seed=21, network="lan", wire_mode="table",
+                      trace=False, coalesce=coalesce)
+        ga = world.process("a").endpoint().join("grp", stack=stack)
+        gb = world.process("b").endpoint().join("grp", stack=stack)
+        world.run(3.0)
+        assert ga.view is not None and ga.view.size == 2
+        for i in range(30):
+            ga.cast(b"c%02d" % i)
+            gb.cast(b"d%02d" % i)
+        world.run(5.0)
+        assert len(ga.delivery_log) == 60 and len(gb.delivery_log) == 60
+        assert [(d.source, d.data) for d in ga.delivery_log] == \
+               [(d.source, d.data) for d in gb.delivery_log]
+        return world
+
+    def test_full_stack_delivery_with_coalescing(self):
+        plain = self.run_workload(coalesce=False)
+        batched = self.run_workload(coalesce=True)
+        assert batched.network.batches_sent > 0
+        assert batched.network.batches_rejected == 0
+        # Same delivered messages, strictly fewer datagrams on the wire.
+        assert (batched.network.inner.stats.packets_sent
+                < plain.network.stats.packets_sent)

@@ -39,9 +39,12 @@ class TestFrameCodec:
         src = EndpointAddress("alice", 3)
         dst = EndpointAddress("bob", 0)
         frame = encode_frame(src, dst, b"payload bytes", 123.456)
-        out_src, out_dst, sent_at, payload = decode_frame(frame)
+        out_src, out_dst, sent_at, payload, flags = decode_frame(frame)
         assert (out_src, out_dst, payload) == (src, dst, b"payload bytes")
         assert sent_at == pytest.approx(123.456)
+        assert flags == 0
+        garbled = encode_frame(src, dst, b"payload bytes", 123.456, flags=1)
+        assert decode_frame(garbled)[4] == 1
 
     def test_malformed_frames_are_counted_not_raised(self):
         engine = RealtimeEngine()
