@@ -1,46 +1,68 @@
 """Experiment ST1 — durable-store WAL throughput and recovery cost.
 
 Measures what ``stateful=True`` recovery actually costs on this
-machine, for both backends:
+machine, for both backends and all three durability policies:
 
 * append throughput (records/sec and MB/s) at small/medium/large
-  payloads — the per-update tax a durable ``ReplicatedDict`` pays;
+  payloads — the per-update tax a durable ``ReplicatedDict`` pays.
+  ``fsync_per_record`` pays one fsync per append; ``group`` batches
+  records per fsync through the :class:`~repro.store.WalWriter`
+  (throughput is measured to *durable completion* — every commit
+  ticket done); ``async`` moves the write+fsync pipeline onto the
+  writer thread so encoding overlaps I/O;
 * replay speed (records/sec) — how fast a crashed member rebuilds its
   state from the journal;
 * snapshot+compaction latency — the pause taken every
   ``snapshot_every`` updates.
 
 ``MemoryBackend`` bounds the pure record-framing cost (CRC + length
-prefix, no I/O); ``FileBackend`` adds the fsync-per-append the realtime
-substrate pays for real durability.
+prefix, no I/O); ``FileBackend`` adds the real disk.  The run also
+writes a JSON baseline (``store_wal.json``) and, with ``--check``,
+enforces the PR 9 acceptance floor: ``group`` mode sustains ≥50k
+durable appends/s at 64B on the file backend.
 
-Run:  PYTHONPATH=src python benchmarks/bench_store_wal.py
+Run:  PYTHONPATH=src python benchmarks/bench_store_wal.py [--check]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import shutil
+import sys
 import tempfile
 import time
 
-from repro.store import DurableStore, FileBackend, MemoryBackend
+from repro.store import DurabilityPolicy, DurableStore, FileBackend, MemoryBackend
 
-from _util import report, table
+from _util import RESULTS_DIR, report, table
 
 SIZES = [(64, "64B"), (1024, "1KiB"), (16 * 1024, "16KiB")]
 
+MODES = ["fsync_per_record", "group", "async"]
 
-def bench_backend(make_backend, records: int):
-    rows = []
+#: Acceptance floor (ISSUE 9): group mode, 64B payloads, file backend.
+GROUP_64B_FLOOR = 50_000.0
+
+
+def bench_backend(make_backend, records: int, mode: str):
+    """Per-payload-size rows plus a machine-readable ledger."""
+    rows, ledger = [], {}
+    policy = DurabilityPolicy(mode=mode)
     for size, label in SIZES:
         backend = make_backend()
-        store = DurableStore(backend)
+        store = DurableStore(backend, name=f"bench.{mode}", policy=policy)
         payload = b"u" * size
         started = time.perf_counter()
+        last = None
         for _ in range(records):
-            store.append(payload)
+            last = store.append(payload)
+        # Durable throughput, not enqueue throughput: the clock stops
+        # only when every ticket has completed.
+        store.flush()
         append_s = time.perf_counter() - started
+        assert last is not None and last.done()
 
         started = time.perf_counter()
         replayed = store.replay()
@@ -51,6 +73,7 @@ def bench_backend(make_backend, records: int):
         started = time.perf_counter()
         store.snapshot(payload * 4, epoch=1)
         snap_s = time.perf_counter() - started
+        store.close()
 
         rows.append([
             label,
@@ -60,39 +83,87 @@ def bench_backend(make_backend, records: int):
             f"{records / replay_s:,.0f}/s",
             f"{snap_s * 1e3:.2f}ms",
         ])
-    return rows
+        ledger[label] = {
+            "records": records,
+            "append_per_s": records / append_s,
+            "append_mb_per_s": records * size / append_s / 1e6,
+            "replay_per_s": records / replay_s,
+            "snapshot_ms": snap_s * 1e3,
+        }
+    return rows, ledger
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--records", type=int, default=2000,
                         help="appends per measurement (default 2000)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless group mode sustains "
+                             f"≥{GROUP_64B_FLOOR:,.0f} durable appends/s "
+                             "at 64B on the file backend")
     args = parser.parse_args()
 
     headers = ["payload", "records", "append", "append bytes",
                "replay", "snapshot+compact"]
 
-    memory_rows = bench_backend(MemoryBackend, args.records)
+    sections = []
+    baseline = {"records": args.records, "modes": {}}
     tmp = tempfile.mkdtemp(prefix="bench-store-")
+    counter = [0]
+
+    def file_backend():
+        counter[0] += 1
+        return FileBackend(f"{tmp}/run{counter[0]}")
+
     try:
-        counter = [0]
-
-        def file_backend():
-            counter[0] += 1
-            return FileBackend(f"{tmp}/run{counter[0]}")
-
-        file_rows = bench_backend(file_backend, args.records)
+        for mode in MODES:
+            memory_rows, memory_ledger = bench_backend(
+                MemoryBackend, args.records, mode
+            )
+            file_rows, file_ledger = bench_backend(
+                file_backend, args.records, mode
+            )
+            note = {
+                "fsync_per_record": "one fsync per append — the default "
+                                    "durability policy",
+                "group": "batched group commit — many records per fsync",
+                "async": "writer-thread pipeline — encoding overlaps I/O",
+            }[mode]
+            sections.extend([
+                f"durability={mode} ({note})",
+                "MemoryBackend (framing cost only — the DES journal path):",
+                table(headers, memory_rows),
+                "FileBackend (the realtime durability path):",
+                table(headers, file_rows),
+            ])
+            baseline["modes"][mode] = {
+                "memory": memory_ledger,
+                "file": file_ledger,
+            }
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
 
-    text = "\n\n".join([
-        "MemoryBackend (framing cost only — the DES journal path):",
-        table(headers, memory_rows),
-        "FileBackend (fsync per append — the realtime durability path):",
-        table(headers, file_rows),
-    ])
-    report("store_wal", text)
+    report("store_wal", "\n\n".join(sections))
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "store_wal.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"baseline: {json_path}")
+
+    group_64b = baseline["modes"]["group"]["file"]["64B"]["append_per_s"]
+    strict_64b = (
+        baseline["modes"]["fsync_per_record"]["file"]["64B"]["append_per_s"]
+    )
+    print(f"group/file 64B: {group_64b:,.0f} durable appends/s "
+          f"({group_64b / strict_64b:.1f}x fsync_per_record)")
+    if args.check and group_64b < GROUP_64B_FLOOR:
+        print(f"CHECK FAILED: group mode {group_64b:,.0f}/s is below the "
+              f"{GROUP_64B_FLOOR:,.0f}/s floor", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

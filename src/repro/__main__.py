@@ -170,7 +170,7 @@ def _cmd_chaos(args) -> int:
     checks = tuple(DEFAULT_CHECKS) + (("total",) if args.check_total else ())
     runner = ScenarioRunner(
         substrate=args.substrate, seed=args.seed, checks=checks,
-        store_dir=args.store_dir,
+        store_dir=args.store_dir, durability=args.durability,
     )
     if args.scenario_file:
         scenarios = load_scenarios(args.scenario_file)
@@ -348,6 +348,12 @@ def main(argv: List[str] = None) -> int:
                        help="root for on-disk WALs (works on either "
                             "substrate; failing runs leave their "
                             "stores for `store-inspect`)")
+    chaos.add_argument("--durability", default=None,
+                       choices=["fsync_per_record", "group", "async"],
+                       help="store durability mode for stateful "
+                            "clients (default fsync_per_record; "
+                            "group/async exercise the batched "
+                            "group-commit pipeline)")
     chaos.add_argument("--check-total", action="store_true",
                        help="also demand total order (fails on stacks "
                             "without a TOTAL layer — useful for shrink "

@@ -152,6 +152,13 @@ class ScenarioRunner:
             ``python -m repro store-inspect``.  File I/O is outside the
             DES event loop, so sim digests stay pure in
             ``(seed, scenario)``.
+        durability: the store durability mode stateful clients journal
+            under — ``fsync_per_record`` (default), ``group``, or
+            ``async`` (see :class:`~repro.store.DurabilityPolicy`).
+            Relaxed modes exercise the group-commit pipeline: a crash
+            drops volatile batch buffers (tickets never completed), and
+            stateful recovery must still converge from the durable
+            prefix plus XFER catch-up.
     """
 
     def __init__(
@@ -161,6 +168,7 @@ class ScenarioRunner:
         checks: Optional[Iterable[str]] = None,
         network: str = "lan",
         store_dir: Optional[str] = None,
+        durability: Optional[str] = None,
     ) -> None:
         if substrate not in ("sim", "realtime"):
             raise ValueError(f"unknown substrate {substrate!r}")
@@ -169,6 +177,11 @@ class ScenarioRunner:
         self.checks = tuple(checks) if checks is not None else DEFAULT_CHECKS
         self.network = network
         self.store_dir = store_dir
+        if durability is not None:
+            from repro.store import parse_policy
+
+            parse_policy(durability)  # fail fast on unknown modes
+        self.durability = durability
 
     # ------------------------------------------------------------------
     # World plumbing
@@ -230,6 +243,11 @@ class ScenarioRunner:
         try:
             self._execute(world, scenario, result)
         finally:
+            # Quiesce relaxed-durability writers so the WALs a failing
+            # run leaves behind are complete for store-inspect.
+            flush_all = getattr(world.store, "flush_all", None)
+            if flush_all is not None:
+                flush_all()
             if self.substrate == "realtime":
                 world.close()
         return result
@@ -255,6 +273,7 @@ class ScenarioRunner:
                     group,
                     stack=scenario.stack,
                     durable=True,
+                    policy=self.durability,
                 )
                 clients[node].append(client)
                 handle = client.handle

@@ -235,6 +235,11 @@ class World:
         self.store = store if store is not None else MemoryStoreDomain(
             metrics=self.metrics
         )
+        bind_clock = getattr(self.store, "bind_clock", None)
+        if bind_clock is not None:
+            # Relaxed durability policies arm their max_delay flush
+            # timers on the same deterministic scheduler as every layer.
+            bind_clock(self.scheduler)
         if wire_mode not in WIRE_MODES:
             raise ConfigurationError(f"unknown wire mode {wire_mode!r}")
         self.wire_mode = wire_mode
@@ -296,8 +301,16 @@ class World:
     # -- fault plane (the repro.chaos.FaultPlane protocol) -----------------
 
     def crash(self, name: str) -> None:
-        """Crash the named process fail-stop."""
+        """Crash the named process fail-stop.
+
+        The node's *volatile* store buffers (records buffered by a
+        relaxed durability policy, tickets never completed) die with
+        it; durable bytes survive for a stateful recovery.
+        """
         self.process(name)._fail_stop()
+        discard = getattr(self.store, "discard_pending", None)
+        if discard is not None:
+            discard(name)
         self._note_fault_op("crash")
 
     def recover(self, name: str, stateful: bool = False) -> Process:

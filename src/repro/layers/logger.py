@@ -15,8 +15,9 @@ bare context (no store domain) the journal is memory-only, as before.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Deque, List, Optional, Tuple
 
 from repro.core.events import Upcall, UpcallType
 from repro.core.layer import Layer
@@ -77,6 +78,16 @@ class LoggingLayer(Layer):
             when one is present (default True; a no-op on bare
             contexts).  The WAL is keyed by ``(node, "logger.<group>")``
             so a re-incarnated process finds its own journal.
+        durability (str | DurabilityPolicy): the store's durability
+            policy — ``fsync_per_record`` (default), ``group``, or
+            ``async`` (see :mod:`repro.store.policy`).
+        ack ("enqueue" | "durable"): when to pass a journaled upcall on
+            up the stack.  ``enqueue`` (default) passes it immediately —
+            under a relaxed ``durability`` a crash may lose the journal
+            entry for an already-delivered message.  ``durable`` holds
+            each journaled upcall until its commit ticket completes and
+            releases them in journal (FIFO) order — delivery implies
+            the journal entry survives any crash.
     """
 
     name = "LOGGER"
@@ -84,13 +95,20 @@ class LoggingLayer(Layer):
     def __init__(self, context, **config) -> None:
         super().__init__(context, **config)
         self.capacity = int(config.get("capacity", 100_000))
+        self.ack = str(config.get("ack", "enqueue"))
+        if self.ack not in ("enqueue", "durable"):
+            raise ValueError(f"unknown LOGGER ack mode {self.ack!r}")
         self.journal: List[LogEntry] = []
         self.store = None
+        #: Upcalls awaiting their journal entry's durability (ack=durable
+        #: with a relaxed policy); released strictly in journal order.
+        self._held: Deque[Tuple[Upcall, Any]] = deque()
         #: Entries reconstructed from a previous incarnation's WAL.
         self.recovered_entries = 0
         if bool(config.get("durable", True)) and context.store is not None:
             self.store = context.store.store(
-                context.endpoint.node, f"logger.{context.group}"
+                context.endpoint.node, f"logger.{context.group}",
+                policy=config.get("durability"),
             )
             replayed = self.store.replay()
             for record in replayed.entries:
@@ -101,32 +119,49 @@ class LoggingLayer(Layer):
             self.recovered_entries = len(self.journal)
 
     def handle_up(self, upcall: Upcall) -> None:
+        entry = None
         if upcall.type in (UpcallType.CAST, UpcallType.SEND) and upcall.message:
-            self._append(
-                LogEntry(
-                    kind="deliver",
-                    time=self.now,
-                    source=upcall.source,
-                    body=upcall.message.body_bytes(),
-                )
+            entry = LogEntry(
+                kind="deliver",
+                time=self.now,
+                source=upcall.source,
+                body=upcall.message.body_bytes(),
             )
         elif upcall.type is UpcallType.VIEW and upcall.view is not None:
-            self._append(
-                LogEntry(
-                    kind="view",
-                    time=self.now,
-                    view_members=tuple(str(m) for m in upcall.view.members),
-                    view_epoch=upcall.view.view_id.epoch,
-                )
+            entry = LogEntry(
+                kind="view",
+                time=self.now,
+                view_members=tuple(str(m) for m in upcall.view.members),
+                view_epoch=upcall.view.view_id.epoch,
             )
+        if entry is None:
+            self.pass_up(upcall)
+            return
+        ticket = self._append(entry)
+        if self.ack == "durable" and ticket is not None:
+            # Hold behind the commit: the upcall goes up only once the
+            # journal entry is on stable storage, in journal order.
+            self._held.append((upcall, ticket))
+            ticket.add_done_callback(self._release_durable)
+            return
         self.pass_up(upcall)
 
-    def _append(self, entry: LogEntry) -> None:
+    def _release_durable(self, _ticket=None) -> None:
+        """Pass held upcalls up, strictly FIFO: a later record's flush
+        can complete a whole batch at once, but nothing jumps an
+        earlier record that is still pending."""
+        while self._held and self._held[0][1].done():
+            upcall, _ = self._held.popleft()
+            self.pass_up(upcall)
+
+    def _append(self, entry: LogEntry):
         self.journal.append(entry)
+        ticket = None
         if self.store is not None:
-            self.store.append(entry.encode())
+            ticket = self.store.append(entry.encode())
         if len(self.journal) > self.capacity:
             del self.journal[: len(self.journal) - self.capacity]
+        return ticket
 
     def replay(self, kind: Optional[str] = None) -> List[LogEntry]:
         """The journal (optionally filtered), oldest first — the recovery
@@ -142,6 +177,8 @@ class LoggingLayer(Layer):
             deliveries=sum(1 for e in self.journal if e.kind == "deliver"),
             views=sum(1 for e in self.journal if e.kind == "view"),
             durable=self.store is not None,
+            ack=self.ack,
+            held_upcalls=len(self._held),
             recovered_entries=self.recovered_entries,
         )
         return info

@@ -90,6 +90,14 @@ class StateTransferLayer(Layer):
 
     Config:
         chunk_size (int): snapshot chunk payload size (default 1024).
+        ack ("enqueue" | "durable"): when a joiner counts an installed
+            snapshot as synced.  ``enqueue`` (default) syncs as soon as
+            the installer returns.  ``durable`` inspects the
+            installer's return value: when it is ticket-like (a
+            :class:`~repro.store.CommitTicket` — has ``done()`` and
+            ``add_done_callback``), the member stays unsynced and keeps
+            buffering until the ticket completes, i.e. until the
+            installed snapshot is on stable storage.
 
     Application surface (via ``handle.focus("XFER")``):
         :meth:`bind` — install the provider/installer callbacks;
@@ -101,6 +109,9 @@ class StateTransferLayer(Layer):
     def __init__(self, context, **config) -> None:
         super().__init__(context, **config)
         self.chunk_size = int(config.get("chunk_size", 1024))
+        self.ack = str(config.get("ack", "enqueue"))
+        if self.ack not in ("enqueue", "durable"):
+            raise ValueError(f"unknown XFER ack mode {self.ack!r}")
         #: Serialize local state for a joiner; bound by the client.
         self.provider: Optional[Callable[[], bytes]] = None
         #: Adopt an authoritative state at an epoch; bound by the client.
@@ -109,6 +120,10 @@ class StateTransferLayer(Layer):
         self._buffer: List[Upcall] = []
         self._assembly: Optional[_Assembly] = None
         self._view: Optional[View] = None
+        #: Bumped on every view change; a deferred durable-install sync
+        #: from a superseded view must not fire (the coordinator will
+        #: re-stream in the new view).
+        self._sync_generation = 0
         self.snapshots_sent = 0
         self.snapshots_installed = 0
         self.resyncs = 0
@@ -193,6 +208,7 @@ class StateTransferLayer(Layer):
         # A view change invalidates any half-assembled stream; the
         # coordinator re-streams in the new view.
         self._assembly = None
+        self._sync_generation += 1
         self.pass_up(upcall)
         if self._synced and view.coordinator == self.endpoint and view.size > 1:
             self._stream_snapshot(view)
@@ -253,8 +269,9 @@ class StateTransferLayer(Layer):
             )
         elif kind == _DONE and assembly.complete():
             state = assembly.state()
+            ticket = None
             if self.installer is not None:
-                self.installer(state, assembly.epoch)
+                ticket = self.installer(state, assembly.epoch)
             self.snapshots_installed += 1
             self._count("xfer_snapshots_installed_total",
                         "Snapshots installed by joiners")
@@ -266,6 +283,28 @@ class StateTransferLayer(Layer):
             self.trace("xfer_install", epoch=assembly.epoch,
                        bytes=len(state))
             self._assembly = None
+            if (
+                self.ack == "durable"
+                and callable(getattr(ticket, "done", None))
+                and callable(getattr(ticket, "add_done_callback", None))
+                and not ticket.done()
+            ):
+                # Stay unsynced (keep buffering) until the installed
+                # snapshot is on stable storage; a view change in the
+                # meantime supersedes this install.
+                generation = self._sync_generation
+                self._count("xfer_durable_acks_total",
+                            "Installs whose sync waited for durability")
+
+                def _on_durable(_ticket, self=self, generation=generation):
+                    if (
+                        self._sync_generation == generation
+                        and self._synced is False
+                    ):
+                        self._become_synced()
+
+                ticket.add_done_callback(_on_durable)
+                return
             self._become_synced()
 
     def _become_synced(self) -> None:

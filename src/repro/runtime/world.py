@@ -92,6 +92,12 @@ class RealtimeWorld:
             metrics=self.metrics
         )
         self._owns_store = store is None
+        bind_clock = getattr(self.store, "bind_clock", None)
+        if bind_clock is not None:
+            # Relaxed durability policies arm their max_delay flush
+            # timers on the engine; its asyncio loop also marshals
+            # writer-thread completion callbacks back onto this thread.
+            bind_clock(self.engine)
         self.network = UdpTransport(self.engine, mtu=mtu, metrics=self.metrics)
         if coalesce:
             # Same COM-seam batching as the DES world, timed by the
@@ -153,8 +159,16 @@ class RealtimeWorld:
     # -- fault plane (the repro.chaos.FaultPlane protocol) -----------------
 
     def crash(self, name: str) -> None:
-        """Crash the named local process fail-stop."""
+        """Crash the named local process fail-stop.
+
+        Volatile store buffers (relaxed-policy records whose tickets
+        never completed) are discarded with the process, exactly as on
+        the DES; durable bytes stay for a stateful recovery.
+        """
         self.process(name)._fail_stop()
+        discard = getattr(self.store, "discard_pending", None)
+        if discard is not None:
+            discard(name)
         self._note_fault_op("crash")
 
     def recover(self, name: str, stateful: bool = False) -> Process:

@@ -12,12 +12,21 @@ one narrow waist, two substrates beneath it):
   a tolerant reader (torn tails and bit flips are detected and ignored,
   never replayed);
 * :mod:`repro.store.backend` — byte blobs in memory (DES) or real files
-  with atomic replace (realtime);
+  with atomic replace (realtime); backends grow ``append_many``/``sync``
+  so a whole batch can ride one fsync;
+* :mod:`repro.store.policy` — :class:`DurabilityPolicy`
+  (``fsync_per_record`` / ``group`` / ``async``) and the
+  :class:`CommitTicket` every ``append`` now returns;
+* :mod:`repro.store.writer` — :class:`WalWriter`, the group-commit /
+  async pipeline implementing the policy under a bounded latency
+  budget on the Clock seam;
 * :class:`DurableStore` — append / atomic snapshot+compaction / replay
   over one backend;
 * :class:`MemoryStoreDomain` / :class:`FileStoreDomain` — a world's
   stores keyed by ``(node, namespace)``, so node names (which survive
   crash/recover) find their state again;
+* :mod:`repro.store.torture` — crash-at-every-fsync injection pinning
+  that relaxed modes recover a clean prefix of acknowledged records;
 * :mod:`repro.store.inspect` — ``python -m repro store-inspect``.
 
 The in-band half is the XFER layer
@@ -27,6 +36,15 @@ snapshot streaming to joiners over the ordinary stack.
 
 from repro.store.backend import FileBackend, MemoryBackend
 from repro.store.inspect import find_stores, render_path, render_store
+from repro.store.policy import (
+    ASYNC,
+    DURABILITY_MODES,
+    FSYNC_PER_RECORD,
+    GROUP,
+    CommitTicket,
+    DurabilityPolicy,
+    parse_policy,
+)
 from repro.store.store import (
     DurableStore,
     FileStoreDomain,
@@ -36,20 +54,29 @@ from repro.store.store import (
     encode_snapshot,
 )
 from repro.store.wal import MAX_RECORD_BYTES, WalScan, encode_record, scan
+from repro.store.writer import WalWriter
 
 __all__ = [
+    "ASYNC",
+    "CommitTicket",
+    "DURABILITY_MODES",
+    "DurabilityPolicy",
     "DurableStore",
+    "FSYNC_PER_RECORD",
     "FileBackend",
     "FileStoreDomain",
+    "GROUP",
     "MAX_RECORD_BYTES",
     "MemoryBackend",
     "MemoryStoreDomain",
     "ReplayResult",
     "WalScan",
+    "WalWriter",
     "decode_snapshot",
     "encode_record",
     "encode_snapshot",
     "find_stores",
+    "parse_policy",
     "render_path",
     "render_store",
     "scan",

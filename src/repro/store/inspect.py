@@ -16,6 +16,7 @@ from typing import List
 
 from repro.store.store import SNAPSHOT_NAME, WAL_NAME, decode_snapshot
 from repro.store.wal import _HEADER, MAX_RECORD_BYTES
+from repro.store.writer import BATCH_INDEX_SUFFIX
 
 
 def _preview(payload: bytes, limit: int = 60) -> str:
@@ -32,6 +33,26 @@ def _preview(payload: bytes, limit: int = 60) -> str:
     if len(payload) > limit:
         rendered += f"... (+{len(payload) - limit}B)"
     return rendered
+
+
+def _batch_boundaries(path: str, wal_len: int) -> List[int]:
+    """Flush-boundary WAL offsets from the advisory ``wal.log.batches``
+    sidecar a relaxed-mode :class:`~repro.store.writer.WalWriter`
+    leaves beside the log.  Tolerant by design: a truncated trailing
+    u64 is dropped, and offsets beyond the WAL's current length (stale
+    after an unsynced sidecar write or a torn tail) are ignored."""
+    sidecar = os.path.join(path, WAL_NAME + BATCH_INDEX_SUFFIX)
+    try:
+        with open(sidecar, "rb") as fh:
+            raw = fh.read()
+    except OSError:
+        return []
+    offsets: List[int] = []
+    for i in range(0, len(raw) - len(raw) % 8, 8):
+        (offset,) = struct.unpack_from(">Q", raw, i)
+        if offset <= wal_len:
+            offsets.append(offset)
+    return sorted(set(offsets))
 
 
 def render_store(path: str) -> str:
@@ -59,10 +80,20 @@ def render_store(path: str) -> str:
         return "\n".join(lines)
     with open(wal_path, "rb") as fh:
         data = fh.read()
-    lines.append(f"  wal: {len(data)} bytes")
+    boundaries = _batch_boundaries(path, len(data))
+    if boundaries:
+        lines.append(
+            f"  wal: {len(data)} bytes, {len(boundaries)} flush batches"
+        )
+    else:
+        lines.append(f"  wal: {len(data)} bytes")
     # Walk record by record (rather than wal.scan) so damaged records
     # are *shown*, not just counted.
+    boundary_set = set(boundaries)
+    batch_records = 0
     offset, index = 0, 0
+    if 0 in boundary_set:
+        boundary_set.discard(0)
     while offset < len(data):
         if len(data) - offset < _HEADER.size:
             lines.append(
@@ -85,6 +116,13 @@ def render_store(path: str) -> str:
             break
         offset = body_start + length
         index += 1
+        batch_records += 1
+        if offset in boundary_set:
+            lines.append(
+                f"    -- flush boundary @{offset}B "
+                f"({batch_records} record{'s' if batch_records != 1 else ''})"
+            )
+            batch_records = 0
     if index == 0 and not data:
         lines.append("    (empty — compacted)")
     return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Durability policies and commit tickets — the redesigned commit API.
+
+The store keeps one narrow verb (``append``) and widens what happens
+underneath it.  A :class:`DurabilityPolicy` names *when* an appended
+record becomes durable:
+
+* ``fsync_per_record`` — every append is written and fsynced before
+  ``append`` returns (the original behavior, and the default).  The
+  returned ticket is already done.
+* ``group`` — appends are buffered and flushed as one write + one
+  fsync when the batch reaches ``max_batch_bytes`` / ``max_batch_records``
+  or when ``max_delay`` seconds of Clock time pass since the first
+  buffered record (the same bounded-latency-budget idiom as
+  :class:`repro.net.coalesce.Coalescer`).  ``append`` returns
+  immediately; the ticket completes at the flush that covers it.
+* ``async`` — like ``group``, but the write/fsync pipeline is moved off
+  the caller entirely: a background writer thread on the realtime
+  substrate (record encoding overlaps I/O), a deterministic
+  clock-driven drain on the DES (completions are delivered as
+  scheduled events, so digests stay pure functions of the seed).
+
+Every ``append`` returns a :class:`CommitTicket` carrying the record's
+LSN.  Callers choose their acknowledgment discipline per record:
+ack-after-enqueue (just return), or ack-after-durable
+(``ticket.wait()`` / ``ticket.add_done_callback``).  The recovery
+contract for the relaxed modes: a crash may lose *enqueued* records,
+but replay always recovers a clean **prefix** of the append sequence
+that includes every record whose ticket completed.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+#: The three durability modes, in decreasing strictness.
+FSYNC_PER_RECORD = "fsync_per_record"
+GROUP = "group"
+ASYNC = "async"
+
+DURABILITY_MODES = (FSYNC_PER_RECORD, GROUP, ASYNC)
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """How a store's appends become durable (frozen: share freely).
+
+    Replaces ad-hoc backend kwargs: one policy object travels from
+    ``StoreDomain.store(node, ns, policy=...)`` down to the
+    :class:`~repro.store.writer.WalWriter` unchanged.
+    """
+
+    #: One of :data:`DURABILITY_MODES`.
+    mode: str = FSYNC_PER_RECORD
+    #: Flush when the buffered batch reaches this many encoded bytes.
+    max_batch_bytes: int = 256 * 1024
+    #: Flush when the buffered batch reaches this many records.
+    max_batch_records: int = 4096
+    #: Flush latency budget in Clock seconds: the longest a buffered
+    #: record may wait before a flush is forced (needs a bound clock;
+    #: without one, flushes happen on the size triggers and on
+    #: ``wait()`` / ``flush()`` alone).
+    max_delay: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.mode not in DURABILITY_MODES:
+            raise ValueError(
+                f"unknown durability mode {self.mode!r}; "
+                f"expected one of {DURABILITY_MODES}"
+            )
+        if self.max_batch_bytes <= 0 or self.max_batch_records <= 0:
+            raise ValueError("batch limits must be positive")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+
+    @property
+    def batched(self) -> bool:
+        """Whether appends are deferred past the ``append`` call."""
+        return self.mode != FSYNC_PER_RECORD
+
+
+def parse_policy(value) -> DurabilityPolicy:
+    """A :class:`DurabilityPolicy` from a policy, mode string, or None.
+
+    The coercion point for layer/CLI config: ``parse_policy("group")``,
+    ``parse_policy(policy)``, ``parse_policy(None)`` (the default
+    policy) all work.
+    """
+    if value is None:
+        return DurabilityPolicy()
+    if isinstance(value, DurabilityPolicy):
+        return value
+    if isinstance(value, str):
+        return DurabilityPolicy(mode=value)
+    raise TypeError(f"cannot interpret {value!r} as a DurabilityPolicy")
+
+
+class CommitTicket:
+    """One append's receipt: its LSN plus a durability future.
+
+    A ticket is *done* once the record it names is on stable storage
+    (written and fsynced, or appended to the deterministic in-memory
+    blob).  ``fsync_per_record`` tickets are born done; relaxed-mode
+    tickets complete at the flush that covers them.
+
+    Compatibility: ``DurableStore.append`` used to return a plain int
+    index.  A ticket still coerces to that int (``int(ticket)``,
+    ``ticket == 3``, use as a sequence index) with a
+    :class:`DeprecationWarning` pointing at :attr:`lsn`.
+    """
+
+    __slots__ = ("lsn", "_done", "_event", "_callbacks", "_waiter")
+
+    def __init__(
+        self,
+        lsn: int,
+        done: bool = False,
+        waiter: Optional[Callable[["CommitTicket"], None]] = None,
+    ) -> None:
+        #: Log sequence number: the record's index in this store handle's
+        #: append sequence (what ``append`` used to return).
+        self.lsn = lsn
+        self._done = done
+        self._event: Optional[threading.Event] = None
+        self._callbacks: List[Callable[["CommitTicket"], None]] = []
+        #: How to make progress when a caller blocks on this ticket
+        #: (the writer's flush/drain hook); None once done.
+        self._waiter = None if done else waiter
+
+    # -- the future surface ------------------------------------------------
+
+    def done(self) -> bool:
+        """Whether the record is durable."""
+        return self._done
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until durable; returns :meth:`done`.
+
+        On a synchronous writer this *forces* the covering flush (so a
+        ticket can never deadlock waiting for a timer that only fires
+        when the world runs); on a threaded writer it waits for the
+        writer thread to drain past this record.
+        """
+        if self._done:
+            return True
+        if self._waiter is not None:
+            self._waiter(self)
+        if self._done:
+            return True
+        if self._event is not None:
+            self._event.wait(timeout)
+        return self._done
+
+    def add_done_callback(self, fn: Callable[["CommitTicket"], None]) -> None:
+        """Run ``fn(ticket)`` once durable (immediately if already)."""
+        if self._done:
+            fn(self)
+            return
+        self._callbacks.append(fn)
+        if self._done and fn in self._callbacks:
+            # A threaded writer completed between the check and the
+            # append; the callback landed on the post-completion list
+            # and would never fire.  Run it here instead.
+            self._callbacks.remove(fn)
+            fn(self)
+
+    # -- writer side -------------------------------------------------------
+
+    def _ensure_event(self) -> threading.Event:
+        """The cross-thread wait primitive (threaded writers only)."""
+        if self._event is None:
+            self._event = threading.Event()
+        return self._event
+
+    def _complete(self, dispatch: Optional[Callable] = None) -> None:
+        """Mark durable and fire callbacks.  Idempotent.
+
+        ``dispatch`` reroutes the *callbacks* (not the done flag, which
+        is set immediately so ``wait()`` unblocks) — the writer passes
+        ``clock.call_soon`` on the DES (acks become scheduled events)
+        or ``loop.call_soon_threadsafe`` from its thread (callbacks run
+        on the engine thread, where layers are allowed to act).
+        """
+        if self._done:
+            return
+        self._done = True
+        self._waiter = None
+        if self._event is not None:
+            self._event.set()
+        callbacks, self._callbacks = self._callbacks, []
+        if not callbacks:
+            return
+        if dispatch is None:
+            for fn in callbacks:
+                fn(self)
+        else:
+            def fire(ticket=self, fns=tuple(callbacks)) -> None:
+                for fn in fns:
+                    fn(ticket)
+            dispatch(fire)
+
+    # -- legacy int-LSN shim -----------------------------------------------
+
+    def _warn_int(self) -> None:
+        warnings.warn(
+            "DurableStore.append now returns a CommitTicket; use "
+            "ticket.lsn instead of treating the result as an int",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __int__(self) -> int:
+        self._warn_int()
+        return self.lsn
+
+    def __index__(self) -> int:
+        self._warn_int()
+        return self.lsn
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, CommitTicket):
+            return self is other
+        if isinstance(other, int):
+            self._warn_int()
+            return self.lsn == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        state = "durable" if self._done else "pending"
+        return f"<CommitTicket lsn={self.lsn} {state}>"

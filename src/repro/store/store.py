@@ -2,23 +2,37 @@
 
 A :class:`DurableStore` is what a client (LOGGER, ReplicatedDict, the
 state machine) holds: an append-only write-ahead log plus one snapshot
-blob, both living in a :mod:`~repro.store.backend` backend.  The
-recovery contract:
+blob, both living in a :mod:`~repro.store.backend` backend, with all
+WAL writes flowing through a :class:`~repro.store.writer.WalWriter`
+that implements the store's :class:`~repro.store.policy
+.DurabilityPolicy`.  The recovery contract:
 
-* :meth:`append` makes one update durable before it is applied;
+* :meth:`append` accepts one update and returns a
+  :class:`~repro.store.policy.CommitTicket` — under the default
+  ``fsync_per_record`` policy the ticket is already done (the update
+  is durable before anything is applied); under ``group``/``async``
+  the caller chooses ack-after-enqueue (ignore the ticket) or
+  ack-after-durable (``ticket.wait()`` / ``add_done_callback``);
 * :meth:`snapshot` atomically replaces the snapshot with the full state
   at some epoch and compacts (truncates) the WAL — after a snapshot the
   log only holds updates newer than it;
 * :meth:`replay` returns ``(snapshot, epoch, entries)`` — the state to
   reinstall and the intact WAL suffix to re-apply on top — tolerating a
-  torn tail or corrupt record by ignoring the damaged suffix.
+  torn tail or corrupt record by ignoring the damaged suffix.  Under a
+  relaxed policy a crash may lose *enqueued-but-unacknowledged*
+  records; it never loses one whose ticket completed, and replay is
+  always a clean prefix of the append sequence.
 
 A :class:`StoreDomain` owns every store of one world, keyed by
 ``(node, namespace)``: node *names* survive crash/recover even though
 endpoints and ports do not, which is what lets a re-incarnated process
-find its own state.  :class:`MemoryStoreDomain` backs the DES (state is
-part of the pure function of the seed); :class:`FileStoreDomain` backs
-the realtime substrate with real per-endpoint directories.
+find its own state.  Store handles are cached per key, so every caller
+of ``domain.store(node, ns)`` shares one writer (and one pending
+batch).  :class:`MemoryStoreDomain` backs the DES (state is part of
+the pure function of the seed); :class:`FileStoreDomain` backs the
+realtime substrate with real per-endpoint directories.  Worlds call
+:meth:`~MemoryStoreDomain.bind_clock` at construction so relaxed-mode
+flush timers ride the same Clock seam as every protocol layer.
 """
 
 from __future__ import annotations
@@ -33,7 +47,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.store.backend import FileBackend, MemoryBackend
-from repro.store.wal import WalScan, encode_record, scan
+from repro.store.policy import CommitTicket, DurabilityPolicy, parse_policy
+from repro.store.wal import WalScan, scan
+from repro.store.writer import WalWriter
 
 #: Blob names within one store's backend.
 WAL_NAME = "wal.log"
@@ -85,41 +101,89 @@ class ReplayResult:
 class DurableStore:
     """One client's durable state: a WAL and a snapshot on one backend."""
 
-    def __init__(self, backend, name: str = "", metrics=None) -> None:
+    def __init__(
+        self,
+        backend,
+        name: str = "",
+        metrics=None,
+        policy: Optional[DurabilityPolicy] = None,
+        clock=None,
+    ) -> None:
         self.backend = backend
         #: ``node/namespace`` label for metrics and reports.
         self.name = name
         self.metrics = metrics
+        self.clock = clock
         #: Records appended through this handle since open (not the
         #: on-disk total — replay reports that).
         self.appended = 0
         self._since_snapshot = 0
+        self.writer = WalWriter(
+            backend, WAL_NAME, policy=parse_policy(policy), clock=clock,
+            label=name, metrics=metrics,
+        )
+
+    @property
+    def policy(self) -> DurabilityPolicy:
+        """The active durability policy."""
+        return self.writer.policy
+
+    def set_policy(self, policy) -> None:
+        """Swap the durability policy (drains the old writer first)."""
+        policy = parse_policy(policy)
+        if policy == self.writer.policy:
+            return
+        self.writer.close()
+        self.writer = WalWriter(
+            self.backend, WAL_NAME, policy=policy, clock=self.clock,
+            label=self.name, metrics=self.metrics,
+        )
 
     # -- writing -----------------------------------------------------------
 
-    def append(self, payload: bytes) -> int:
-        """Durably append one update; returns its index in this session."""
-        record = encode_record(payload)
-        self.backend.append(WAL_NAME, record)
+    def append(self, payload: bytes) -> CommitTicket:
+        """Append one update per the durability policy.
+
+        Returns the record's :class:`CommitTicket`.  Under
+        ``fsync_per_record`` it is done before this returns; under
+        ``group``/``async`` use ``ticket.wait()`` or
+        ``ticket.add_done_callback`` for ack-after-durable.  (The old
+        int return survives as ``ticket.lsn``; coercing the ticket to
+        an int warns :class:`DeprecationWarning`.)
+        """
+        ticket = self.writer.append(payload)
         self.appended += 1
         self._since_snapshot += 1
         if self.metrics is not None:
+            record_len = len(payload) + 8
             self._counter("store_wal_appends_total",
                           "Records appended to store WALs").inc()
             self._counter("store_wal_bytes_total",
-                          "Bytes appended to store WALs").inc(len(record))
-        return self.appended - 1
+                          "Bytes appended to store WALs").inc(record_len)
+        return ticket
 
-    def snapshot(self, state: bytes, epoch: int) -> None:
+    def flush(self) -> None:
+        """Force everything buffered to stable storage now."""
+        self.writer.drain()
+
+    def snapshot(self, state: bytes, epoch: int) -> CommitTicket:
         """Atomically install ``state`` as the snapshot and compact the WAL.
 
-        The snapshot is replaced first; only then is the log truncated,
-        so a crash between the two replays a few updates twice onto the
+        Pending WAL records are drained first (they may be older than
+        ``state``; truncating them unwritten would break the prefix
+        contract for any ticket a caller is still holding).  The
+        snapshot is then replaced before the log is truncated, so a
+        crash between the two replays a few updates twice onto the
         *new* snapshot rather than losing any (clients' updates must be
         idempotent re-applications, which set/delete-style ops are).
+        Returns a done ticket for the compaction itself, so callers
+        (XFER install, toolkit clients) can thread it through the same
+        ack plumbing as appends.
         """
+        self.writer.drain()
         self.backend.replace(SNAPSHOT_NAME, encode_snapshot(state, epoch))
         self.backend.replace(WAL_NAME, b"")
+        self.writer.reset_batch_index()
         self._since_snapshot = 0
         if self.metrics is not None:
             self._counter("store_snapshots_total",
@@ -134,11 +198,14 @@ class DurableStore:
                 "Appends made durable by the latest snapshot, per store",
                 labels=("store",),
             ).labels(store=self.name).set(float(self.appended))
+        return CommitTicket(self.appended - 1, done=True)
 
     # -- reading -----------------------------------------------------------
 
     def replay(self) -> ReplayResult:
-        """Read back the snapshot and the intact WAL suffix."""
+        """Read back the snapshot and the intact WAL suffix (pending
+        writes are drained first so the read is current)."""
+        self.writer.drain()
         state, epoch = decode_snapshot(self.backend.read(SNAPSHOT_NAME))
         walscan: WalScan = scan(self.backend.read(WAL_NAME))
         result = ReplayResult(
@@ -177,14 +244,25 @@ class DurableStore:
         return self._since_snapshot
 
     def wal_bytes(self) -> int:
-        """Current size of the WAL blob."""
+        """Current size of the WAL blob (pending writes drained first)."""
+        self.writer.drain()
         return len(self.backend.read(WAL_NAME))
+
+    def close(self) -> None:
+        """Drain the writer and release backend resources."""
+        self.writer.close()
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
 
     def _counter(self, name: str, help_text: str):
         return self.metrics.counter(name, help_text)
 
     def __repr__(self) -> str:
-        return f"<DurableStore {self.name or '?'} appended={self.appended}>"
+        return (
+            f"<DurableStore {self.name or '?'} mode={self.policy.mode} "
+            f"appended={self.appended}>"
+        )
 
 
 #: Snapshot-size buckets (64 B – 16 MiB).
@@ -196,7 +274,58 @@ def _safe(part: str) -> str:
     return "".join(c if c.isalnum() or c in "._-" else "_" for c in part)
 
 
-class MemoryStoreDomain:
+class _DomainBase:
+    """Shared store-handle cache + clock plumbing for both domains."""
+
+    def __init__(self, metrics=None, clock=None) -> None:
+        self.metrics = metrics
+        self.clock = clock
+        self._stores: Dict[Tuple[str, str], DurableStore] = {}
+
+    def bind_clock(self, clock) -> None:
+        """Attach the world's Clock (flush timers, commit latency).
+
+        Worlds call this right after construction; stores created
+        earlier keep their old clock (usually none), stores created
+        later use this one.
+        """
+        self.clock = clock
+
+    def _get(self, node: str, namespace: str, policy, make_backend) -> DurableStore:
+        key = (node, namespace)
+        store = self._stores.get(key)
+        if store is None:
+            store = DurableStore(
+                make_backend(), name=f"{node}/{namespace}",
+                metrics=self.metrics, policy=parse_policy(policy),
+                clock=self.clock,
+            )
+            self._stores[key] = store
+        elif policy is not None:
+            store.set_policy(policy)
+        return store
+
+    def flush_all(self) -> None:
+        """Drain every store's pending writes (quiesce point)."""
+        for store in self._stores.values():
+            store.flush()
+
+    def discard_pending(self, node: str) -> int:
+        """Crash semantics: drop ``node``'s volatile write buffers
+        without writing them (their tickets never complete).  Durable
+        bytes are untouched.  Returns how many records were dropped."""
+        dropped = 0
+        for (owner, _ns), store in self._stores.items():
+            if owner == node:
+                dropped += store.writer.discard_pending()
+        return dropped
+
+    def _drop(self, node: str) -> None:
+        for key in [k for k in self._stores if k[0] == node]:
+            self._stores.pop(key).close()
+
+
+class MemoryStoreDomain(_DomainBase):
     """The DES world's store domain: deterministic in-memory backends.
 
     Keyed by node *name*, so a store survives
@@ -205,21 +334,25 @@ class MemoryStoreDomain:
     the fault plane's blank-slate recovery wipes it first.
     """
 
-    def __init__(self, metrics=None) -> None:
-        self.metrics = metrics
+    def __init__(self, metrics=None, clock=None) -> None:
+        super().__init__(metrics=metrics, clock=clock)
         self._backends: Dict[Tuple[str, str], MemoryBackend] = {}
 
-    def store(self, node: str, namespace: str) -> DurableStore:
-        """The durable store for ``(node, namespace)`` (created lazily)."""
-        backend = self._backends.setdefault(
-            (node, namespace), MemoryBackend()
-        )
-        return DurableStore(
-            backend, name=f"{node}/{namespace}", metrics=self.metrics
-        )
+    def store(
+        self, node: str, namespace: str,
+        policy: Optional[DurabilityPolicy] = None,
+    ) -> DurableStore:
+        """The durable store for ``(node, namespace)`` (created lazily,
+        cached — every caller shares one handle and one write pipeline).
+        ``policy`` reconfigures the store's durability when given."""
+        def make_backend() -> MemoryBackend:
+            return self._backends.setdefault((node, namespace), MemoryBackend())
+
+        return self._get(node, namespace, policy, make_backend)
 
     def wipe(self, node: str) -> None:
         """Destroy every store of ``node`` (blank-slate recovery)."""
+        self._drop(node)
         for key in [k for k in self._backends if k[0] == node]:
             del self._backends[key]
 
@@ -228,10 +361,12 @@ class MemoryStoreDomain:
         return sorted(self._backends)
 
     def close(self) -> None:
-        """Nothing to release; symmetry with :class:`FileStoreDomain`."""
+        """Drain writers; nothing on disk to release."""
+        for store in self._stores.values():
+            store.close()
 
 
-class FileStoreDomain:
+class FileStoreDomain(_DomainBase):
     """Real files, one directory per ``(node, namespace)`` store.
 
     Layout: ``root/<node>/<namespace>/{wal.log,snapshot.bin}`` — the
@@ -243,22 +378,28 @@ class FileStoreDomain:
     .RealtimeWorld` uses by default).
     """
 
-    def __init__(self, root: Optional[str] = None, metrics=None) -> None:
+    def __init__(
+        self, root: Optional[str] = None, metrics=None, clock=None
+    ) -> None:
+        super().__init__(metrics=metrics, clock=clock)
         self.ephemeral = root is None
         self.root = root if root is not None else tempfile.mkdtemp(
             prefix="repro-store-"
         )
-        self.metrics = metrics
         os.makedirs(self.root, exist_ok=True)
 
-    def store(self, node: str, namespace: str) -> DurableStore:
-        path = os.path.join(self.root, _safe(node), _safe(namespace))
-        return DurableStore(
-            FileBackend(path), name=f"{node}/{namespace}",
-            metrics=self.metrics,
-        )
+    def store(
+        self, node: str, namespace: str,
+        policy: Optional[DurabilityPolicy] = None,
+    ) -> DurableStore:
+        def make_backend() -> FileBackend:
+            path = os.path.join(self.root, _safe(node), _safe(namespace))
+            return FileBackend(path)
+
+        return self._get(node, namespace, policy, make_backend)
 
     def wipe(self, node: str) -> None:
+        self._drop(node)
         shutil.rmtree(os.path.join(self.root, _safe(node)),
                       ignore_errors=True)
 
@@ -278,6 +419,9 @@ class FileStoreDomain:
         return found
 
     def close(self) -> None:
-        """Remove the backing directory if this domain created it."""
+        """Drain writers, release file handles, and remove the backing
+        directory if this domain created it."""
+        for store in self._stores.values():
+            store.close()
         if self.ephemeral:
             shutil.rmtree(self.root, ignore_errors=True)

@@ -53,6 +53,11 @@ class ReplicatedDict:
         namespace: store namespace (default ``"rdict.<group>"``).
         snapshot_every: compact the WAL into a snapshot after this many
             journaled updates (durable mode only).
+        policy: the journal's :class:`~repro.store.DurabilityPolicy`
+            (or mode string: ``fsync_per_record``, ``group``,
+            ``async``).  Relaxed modes batch journal fsyncs; a crash
+            may lose the tail of *applied-but-unflushed* updates, which
+            stateful recovery then catches back up over XFER.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class ReplicatedDict:
         durable: bool = False,
         namespace: Optional[str] = None,
         snapshot_every: int = 64,
+        policy: Any = None,
     ) -> None:
         self._data: Dict[str, Any] = {}
         self._synced = False  # founders sync trivially; joiners via snapshot
@@ -85,7 +91,8 @@ class ReplicatedDict:
                     "durable=True needs a world with a store domain"
                 )
             self.store = domain.store(
-                self._address.node, namespace or f"rdict.{group}"
+                self._address.node, namespace or f"rdict.{group}",
+                policy=policy,
             )
             self._replay_journal()
         self.handle = endpoint.join(
@@ -197,7 +204,7 @@ class ReplicatedDict:
     def _provide(self) -> bytes:
         return self._state_bytes()
 
-    def _install(self, state: bytes, epoch: int) -> None:
+    def _install(self, state: bytes, epoch: int):
         try:
             self._data = json.loads(state.decode("utf-8")) if state else {}
         except ValueError:
@@ -205,7 +212,10 @@ class ReplicatedDict:
         self._synced = True
         if self.store is not None:
             # The transferred state supersedes the journal: compact.
-            self.store.snapshot(self._state_bytes(), epoch=epoch)
+            # Returning the commit ticket lets an XFER layer configured
+            # with ack="durable" defer sync until the state is on disk.
+            return self.store.snapshot(self._state_bytes(), epoch=epoch)
+        return None
 
     # ------------------------------------------------------------------
     # Applying and journaling updates

@@ -57,6 +57,7 @@ class ReplicatedStateMachine:
         durable: bool = False,
         namespace: Optional[str] = None,
         snapshot_every: int = 64,
+        policy: Any = None,
     ) -> None:
         self.apply_fn = apply_fn
         self.state = initial
@@ -73,7 +74,8 @@ class ReplicatedStateMachine:
                     "durable=True needs a world with a store domain"
                 )
             self.store = domain.store(
-                endpoint.address.node, namespace or f"rsm.{group}"
+                endpoint.address.node, namespace or f"rsm.{group}",
+                policy=policy,
             )
             self._replay_journal()
         self.handle = endpoint.join(group, stack=stack, on_message=self._deliver)
@@ -127,15 +129,17 @@ class ReplicatedStateMachine:
     def _provide(self) -> bytes:
         return self._state_bytes()
 
-    def _install(self, state: bytes, epoch: int) -> None:
+    def _install(self, state: bytes, epoch: int):
         try:
             decoded = json.loads(state.decode("utf-8")) if state else {}
         except ValueError:
-            return
+            return None
         self.state = decoded.get("state")
         self.applied_log = list(decoded.get("applied_log", ()))
         if self.store is not None:
-            self.store.snapshot(self._state_bytes(), epoch=epoch)
+            # The ticket lets XFER's ack="durable" defer sync to disk.
+            return self.store.snapshot(self._state_bytes(), epoch=epoch)
+        return None
 
     def _replay_journal(self) -> None:
         replayed = self.store.replay()

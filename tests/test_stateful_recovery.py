@@ -52,6 +52,19 @@ class TestStatefulChaos:
         assert result.ok, result.violations
         assert result.converged
 
+    @pytest.mark.parametrize(
+        "durability", ["fsync_per_record", "group", "async"]
+    )
+    def test_acceptance_scenario_converges_in_every_durability_mode(
+        self, durability
+    ):
+        runner = ScenarioRunner(
+            substrate="sim", seed=7, durability=durability
+        )
+        result = runner.run(_acceptance_scenario())
+        assert result.ok, result.violations
+        assert result.converged
+
     def test_des_digest_is_pure_in_seed_and_scenario(self):
         scenario = generate_scenario(7, 0, stateful=True)
         assert scenario.stateful

@@ -2,18 +2,23 @@
 
 import os
 import struct
+import warnings
 
 import pytest
 
 from repro.store import (
     MAX_RECORD_BYTES,
+    CommitTicket,
+    DurabilityPolicy,
     DurableStore,
+    FileBackend,
     FileStoreDomain,
     MemoryBackend,
     MemoryStoreDomain,
     decode_snapshot,
     encode_record,
     encode_snapshot,
+    parse_policy,
     render_store,
     scan,
 )
@@ -210,6 +215,253 @@ class TestFileStoreDomain:
         assert domain.store("n1", "ns").replay().entries == []
 
 
+class TestDurabilityPolicy:
+    def test_parse_policy_coercions(self):
+        assert parse_policy(None) == DurabilityPolicy()
+        assert parse_policy("group").mode == "group"
+        policy = DurabilityPolicy(mode="async", max_batch_records=7)
+        assert parse_policy(policy) is policy
+        with pytest.raises(ValueError):
+            parse_policy("eventually")
+        with pytest.raises(TypeError):
+            parse_policy(42)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DurabilityPolicy(max_batch_bytes=0)
+        with pytest.raises(ValueError):
+            DurabilityPolicy(max_delay=-1.0)
+        assert not DurabilityPolicy().batched
+        assert DurabilityPolicy(mode="group").batched
+
+
+class TestCommitTicket:
+    def test_append_returns_done_ticket_by_default(self):
+        store = DurableStore(MemoryBackend())
+        ticket = store.append(b"u0")
+        assert isinstance(ticket, CommitTicket)
+        assert ticket.done() and ticket.lsn == 0
+        assert store.append(b"u1").lsn == 1
+
+    def test_legacy_int_return_warns_but_works(self):
+        store = DurableStore(MemoryBackend())
+        ticket = store.append(b"u0")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert int(ticket) == 0
+            assert ticket == 0  # old code compared the returned index
+            assert [b"a"][ticket] == b"a"  # or used it as a sequence index
+        assert all(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert len(caught) == 3
+
+    def test_callback_fires_immediately_when_done(self):
+        store = DurableStore(MemoryBackend())
+        fired = []
+        store.append(b"u0").add_done_callback(lambda t: fired.append(t.lsn))
+        assert fired == [0]
+
+    def test_group_mode_completes_at_covering_flush(self):
+        policy = DurabilityPolicy(mode="group", max_batch_records=3)
+        store = DurableStore(MemoryBackend(), policy=policy)
+        fired = []
+        tickets = []
+        for i in range(5):
+            ticket = store.append(b"u%d" % i)
+            ticket.add_done_callback(lambda t: fired.append(t.lsn))
+            tickets.append(ticket)
+        # The third append hit max_batch_records: one flush covered 0-2.
+        assert [t.done() for t in tickets] == [True] * 3 + [False] * 2
+        assert fired == [0, 1, 2]
+        assert tickets[4].wait()  # wait() forces the covering flush
+        assert fired == [0, 1, 2, 3, 4]
+        assert store.replay().entries == [b"u%d" % i for i in range(5)]
+
+    def test_async_mode_drains_to_durable(self):
+        store = DurableStore(MemoryBackend(), policy="async")
+        tickets = [store.append(b"a%d" % i) for i in range(200)]
+        store.flush()
+        assert all(t.done() for t in tickets)
+        assert len(store.replay().entries) == 200
+
+    def test_async_wait_blocks_until_durable(self):
+        store = DurableStore(MemoryBackend(), policy="async")
+        ticket = store.append(b"only")
+        assert ticket.wait(timeout=10.0)
+        assert store.replay().entries == [b"only"]
+        store.close()
+
+
+class TestWalWriterBehavior:
+    def test_size_trigger_batches_per_fsync(self):
+        backend = MemoryBackend()
+        syncs = []
+        original = backend.sync
+        backend.sync = lambda name: (syncs.append(name), original(name))[1]
+        policy = DurabilityPolicy(mode="group", max_batch_records=10)
+        store = DurableStore(backend, policy=policy)
+        for i in range(30):
+            store.append(b"u%02d" % i)
+        assert len(syncs) == 3  # 30 records, 3 fsyncs
+        assert len(store.replay().entries) == 30
+
+    def test_snapshot_drains_pending_before_compacting(self):
+        policy = DurabilityPolicy(mode="group", max_batch_records=100)
+        store = DurableStore(MemoryBackend(), policy=policy)
+        tickets = [store.append(b"u%d" % i) for i in range(5)]
+        # Nothing flushed yet; compaction must not lose the pending tail.
+        snap_ticket = store.snapshot(b"STATE@5", epoch=5)
+        assert snap_ticket.done()
+        assert all(t.done() for t in tickets)
+        replayed = store.replay()
+        assert replayed.snapshot == b"STATE@5"
+        assert replayed.entries == []
+
+    def test_discard_pending_models_a_crash(self):
+        policy = DurabilityPolicy(mode="group", max_batch_records=3)
+        store = DurableStore(MemoryBackend(), policy=policy)
+        tickets = [store.append(b"u%d" % i) for i in range(5)]
+        dropped = store.writer.discard_pending()
+        assert dropped == 2  # u3, u4 were still volatile
+        assert not tickets[3].done() and not tickets[4].done()
+        assert store.replay().entries == [b"u0", b"u1", b"u2"]
+
+    def test_set_policy_drains_old_writer(self):
+        store = DurableStore(
+            MemoryBackend(),
+            policy=DurabilityPolicy(mode="group", max_batch_records=100),
+        )
+        ticket = store.append(b"buffered")
+        store.set_policy("fsync_per_record")
+        assert ticket.done()  # the swap drained the old pipeline
+        assert store.append(b"strict").done()
+        assert store.replay().entries == [b"buffered", b"strict"]
+
+    def test_default_mode_writes_no_sidecar(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(b"u0")
+        assert not backend.exists("wal.log.batches")
+
+    def test_batched_mode_sidecar_tracks_flush_offsets(self):
+        backend = MemoryBackend()
+        policy = DurabilityPolicy(mode="group", max_batch_records=2)
+        store = DurableStore(backend, policy=policy)
+        for i in range(4):
+            store.append(b"u%d" % i)
+        raw = backend.read("wal.log.batches")
+        offsets = [
+            struct.unpack_from(">Q", raw, i)[0] for i in range(0, len(raw), 8)
+        ]
+        wal_len = len(backend.read(WAL_NAME))
+        assert offsets == [wal_len // 2, wal_len]
+        store.snapshot(b"S", epoch=1)
+        assert backend.read("wal.log.batches") == b""
+
+
+class TestBackendProtocol:
+    def test_append_many_and_sync_fallback(self):
+        from repro.store import backend as backend_mod
+
+        class FiveVerbBackend:
+            """A third-party backend: only the original surface."""
+
+            def __init__(self):
+                self.blob = bytearray()
+                self.appends = 0
+
+            def read(self, name):
+                return bytes(self.blob)
+
+            def append(self, name, data):
+                self.appends += 1
+                self.blob.extend(data)
+
+            def replace(self, name, data):
+                self.blob = bytearray(data)
+
+            def delete(self, name):
+                self.blob = bytearray()
+
+            def exists(self, name):
+                return bool(self.blob)
+
+        legacy = FiveVerbBackend()
+        backend_mod.append_many(legacy, "wal.log", [b"a", b"b"])
+        backend_mod.sync(legacy, "wal.log")  # no-op, must not raise
+        assert legacy.appends == 2 and bytes(legacy.blob) == b"ab"
+        # A relaxed store still works over it (durability degrades to
+        # per-record, correctness does not).
+        store = DurableStore(
+            legacy, policy=DurabilityPolicy(mode="group", max_batch_records=2)
+        )
+        tickets = [store.append(b"u%d" % i) for i in range(2)]
+        assert all(t.done() for t in tickets)
+
+    def test_file_backend_append_many_one_write_then_sync(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "b"))
+        backend.append_many("wal.log", [encode_record(b"x"), encode_record(b"y")])
+        backend.sync("wal.log")
+        assert scan(backend.read("wal.log")).records == [b"x", b"y"]
+        backend.close()
+
+    def test_file_backend_replace_invalidates_cached_appender(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "b"))
+        backend.append("wal.log", encode_record(b"old"))
+        backend.replace("wal.log", b"")
+        backend.append("wal.log", encode_record(b"new"))
+        # The append after replace must land in the *new* file, not the
+        # replaced inode held by a stale descriptor.
+        assert scan(backend.read("wal.log")).records == [b"new"]
+        backend.close()
+
+
+class TestDomainPolicyApi:
+    def test_store_handles_are_cached_and_shared(self):
+        domain = MemoryStoreDomain()
+        first = domain.store("a", "x", policy="group")
+        assert domain.store("a", "x") is first
+        ticket = first.append(b"u0")
+        # The shared handle sees the same pending pipeline.
+        domain.flush_all()
+        assert ticket.done()
+
+    def test_policy_reconfigures_existing_store(self):
+        domain = MemoryStoreDomain()
+        store = domain.store("a", "x")
+        assert store.policy.mode == "fsync_per_record"
+        assert domain.store("a", "x", policy="group") is store
+        assert store.policy.mode == "group"
+
+    def test_discard_pending_is_per_node(self):
+        domain = MemoryStoreDomain()
+        policy = DurabilityPolicy(mode="group", max_batch_records=100)
+        ta = domain.store("a", "x", policy=policy).append(b"ua")
+        tb = domain.store("b", "x", policy=policy).append(b"ub")
+        assert domain.discard_pending("a") == 1
+        domain.flush_all()
+        assert not ta.done() and tb.done()
+
+    def test_wipe_forgets_cached_handle(self):
+        domain = MemoryStoreDomain()
+        domain.store("a", "x").append(b"ax")
+        domain.wipe("a")
+        fresh = domain.store("a", "x")
+        assert fresh.replay().entries == []
+
+    def test_file_domain_persists_batched_wal(self, tmp_path):
+        root = str(tmp_path / "s")
+        domain = FileStoreDomain(root=root)
+        store = domain.store("n1", "ns", policy="group")
+        tickets = [store.append(b"u%d" % i) for i in range(3)]
+        domain.flush_all()
+        assert all(t.done() for t in tickets)
+        domain.close()
+        again = FileStoreDomain(root=root).store("n1", "ns")
+        assert again.replay().entries == [b"u0", b"u1", b"u2"]
+
+
 class TestInspect:
     def test_render_marks_damage(self, tmp_path):
         root = str(tmp_path / "store")
@@ -228,3 +480,40 @@ class TestInspect:
         assert "crc=ok" in rendered and "hello" in rendered
         assert "CRC MISMATCH" in rendered
         assert "never replayed" in rendered
+
+    def test_render_shows_flush_boundaries(self, tmp_path):
+        root = str(tmp_path / "store")
+        domain = FileStoreDomain(root=root)
+        store = domain.store(
+            "n1", "ns", policy=DurabilityPolicy(mode="group", max_batch_records=2)
+        )
+        for i in range(5):
+            store.append(b"u%d" % i)
+        domain.flush_all()
+        rendered = render_store(os.path.join(root, "n1", "ns"))
+        assert "3 flush batches" in rendered
+        assert rendered.count("flush boundary") == 3
+        assert "(2 records)" in rendered and "(1 record)" in rendered
+        domain.close()
+
+    def test_render_tolerates_stale_sidecar(self, tmp_path):
+        root = str(tmp_path / "store")
+        domain = FileStoreDomain(root=root)
+        store = domain.store(
+            "n1", "ns", policy=DurabilityPolicy(mode="group", max_batch_records=2)
+        )
+        store.append(b"aa")
+        store.append(b"bb")
+        domain.flush_all()
+        domain.close()
+        path = os.path.join(root, "n1", "ns")
+        # Shear the WAL tail: the sidecar now points past the log (the
+        # crash-after-sidecar-write case) plus a torn trailing u64.
+        wal_path = os.path.join(path, "wal.log")
+        with open(wal_path, "r+b") as fh:
+            fh.truncate(os.path.getsize(wal_path) - 3)
+        with open(wal_path + ".batches", "ab") as fh:
+            fh.write(b"\x00\x00\x00")
+        rendered = render_store(path)
+        assert "TORN" in rendered  # damage still shown
+        assert "flush boundary" not in rendered  # stale offsets ignored
