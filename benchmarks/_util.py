@@ -38,6 +38,31 @@ def table(headers: List[str], rows: List[List[object]]) -> str:
     return "\n".join(lines)
 
 
+def curve(name, headers, rows, meta=None, reports=None):
+    """Persist a swept-parameter curve as text AND structured JSON.
+
+    The text table (via :func:`report`) is the human artifact; the JSON
+    carries the same rows plus optional ``meta`` (sweep parameters) and
+    ``reports`` (full per-point result dicts) so CI gates and plots can
+    consume the numbers without re-parsing the table.  Returns
+    ``(txt_path, json_path)``.
+    """
+    import json
+
+    txt_path = report(name, table(headers, rows))
+    payload: Dict[str, object] = {"columns": list(headers), "rows": rows}
+    if meta:
+        payload["meta"] = meta
+    if reports:
+        payload["reports"] = reports
+    json_path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"curve written to {json_path}")
+    return txt_path, json_path
+
+
 def metrics_path(name: str) -> str:
     """Canonical location of a bench's metrics snapshot."""
     return os.path.join(RESULTS_DIR, f"{name}.jsonl")

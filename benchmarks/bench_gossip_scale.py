@@ -1,0 +1,147 @@
+"""Experiment GS — SWIM membership at fleet scale, pinned.
+
+The hourglass claim behind ``repro.gossip``: MBRSHIP's flush protocol
+is O(n) per view change, SWIM holds the failure-detection load O(1)
+per node regardless of fleet size.  This bench sweeps the fleet from
+1k to 10k simulated agents on the DES, hits each with a seeded 1%
+crash storm, and records the convergence curve:
+
+* **steady msgs/node/s** — must stay flat across the sweep (the O(1)
+  load claim; the check allows the largest size at most
+  ``FLATNESS_SLACK`` times the smallest);
+* **converged** — every survivor's membership digest identical and
+  exactly matching ground truth before the deadline;
+* **false positives** — alive, reachable nodes confirmed dead; must
+  be ZERO for a pure crash storm at the default suspect timeout;
+* **shard convergence** — all consistent-hash shard groups must agree
+  on ownership computed from the converged views.
+
+Every number is a deterministic function of the seed: same seed, same
+digests, same curve.  Committed results: results/gossip_scale.{txt,json}.
+
+Run:    PYTHONPATH=src python benchmarks/bench_gossip_scale.py
+Check:  PYTHONPATH=src python benchmarks/bench_gossip_scale.py --check
+Quick:  PYTHONPATH=src python benchmarks/bench_gossip_scale.py \
+            --sizes 1000 --out gossip_scale_ci   (the CI smoke shape)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.gossip import GossipScaleConfig, run_scale
+
+from _util import curve
+
+SIZES = (1000, 2500, 5000, 10000)
+SEED = 0
+CRASH_FRAC = 0.01
+#: steady msgs/node/s at the largest size may exceed the smallest by
+#: at most this factor — the O(1) per-node load gate.
+FLATNESS_SLACK = 1.25
+
+
+def sweep(sizes=SIZES, seed=SEED, crash_frac=CRASH_FRAC):
+    reports = []
+    for nodes in sizes:
+        started = time.time()
+        report = run_scale(
+            GossipScaleConfig(nodes=nodes, seed=seed, crash_frac=crash_frac)
+        )
+        print(
+            f"  n={nodes}: converged={report.converged} "
+            f"t={report.convergence_time:.2f}s "
+            f"steady={report.steady_msgs_per_node_per_sec:.2f} msgs/node/s "
+            f"fp={report.false_positives} "
+            f"[{time.time() - started:.0f}s wall]"
+        )
+        reports.append(report)
+    return reports
+
+
+def check(reports) -> list:
+    failures = []
+    for report in reports:
+        if not report.converged:
+            failures.append(f"n={report.nodes}: did not converge")
+        if report.false_positives:
+            failures.append(
+                f"n={report.nodes}: {report.false_positives} false-positive "
+                "evictions (bar is zero for a crash storm)"
+            )
+        if report.shards_converged != report.shards:
+            failures.append(
+                f"n={report.nodes}: only {report.shards_converged}/"
+                f"{report.shards} shards converged"
+            )
+    rates = [r.steady_msgs_per_node_per_sec for r in reports]
+    if len(rates) > 1 and max(rates) > min(rates) * FLATNESS_SLACK:
+        failures.append(
+            f"per-node load not flat: steady rates {rates} exceed "
+            f"{FLATNESS_SLACK}x spread"
+        )
+    return failures
+
+
+def emit(reports, seed, crash_frac, out="gossip_scale"):
+    rows = [
+        [
+            r.nodes,
+            r.crashed,
+            r.converged,
+            f"{r.convergence_time:.2f}",
+            f"{r.steady_msgs_per_node_per_sec:.2f}",
+            r.false_positives,
+            f"{r.shards_converged}/{r.shards}",
+            r.digest[:16],
+        ]
+        for r in reports
+    ]
+    return curve(
+        out,
+        ["nodes", "crashed", "converged", "convergence (s)",
+         "steady msgs/node/s", "false positives", "shards converged",
+         "digest"],
+        rows,
+        meta={"seed": seed, "crash_frac": crash_frac,
+              "flatness_slack": FLATNESS_SLACK},
+        reports=[r.to_dict() for r in reports],
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(SIZES),
+                        help="fleet sizes to sweep")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--crash-frac", type=float, default=CRASH_FRAC)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless every size converges with "
+                             "zero false positives and flat per-node load")
+    parser.add_argument("--out", default="gossip_scale",
+                        help="results basename (gossip_scale writes the "
+                             "committed artifact; CI smoke uses its own)")
+    args = parser.parse_args(argv)
+
+    reports = sweep(tuple(args.sizes), args.seed, args.crash_frac)
+    emit(reports, args.seed, args.crash_frac, out=args.out)
+    if args.check:
+        failures = check(reports)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("gossip scale check: OK")
+    return 0
+
+
+def test_gossip_scale_smoke():
+    """A small fleet of the same shape converges with zero FPs."""
+    reports = sweep(sizes=(250,))
+    assert not check(reports)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

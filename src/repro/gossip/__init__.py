@@ -1,0 +1,57 @@
+"""repro.gossip — SWIM failure detection and sharded VS groups.
+
+MBRSHIP's flush protocol (Section 5) is O(n) per view change: faithful
+to the paper, wrong for the ROADMAP's millions of endpoints.  This
+plane keeps the virtual-synchrony guarantees *in the small* and scales
+*in the large* with an hourglass split:
+
+* :mod:`repro.gossip.swim` — the SWIM protocol core: periodic ping
+  with timeout, k-indirect ping-req, suspect/alive/confirm states with
+  incarnation-number refutation, and infection-style membership
+  dissemination piggybacked on a bounded gossip buffer.  Constant
+  per-node probe cost regardless of fleet size.
+* :class:`~repro.gossip.detector.GossipFailureDetector` — the SWIM
+  core behind the :class:`~repro.membership.FailureDetector` protocol,
+  so MBRSHIP (via ``ExternalFailureDetector.attach``) consumes SWIM
+  verdicts exactly as it consumes the built-in timeout scan's.
+* :mod:`repro.gossip.shard` — many small virtually-synchronous groups
+  (each running the unmodified MBRSHIP/TOTAL/XFER stack) coordinated
+  by a consistent-hash :class:`~repro.gossip.shard.ShardDirectory`
+  built on :class:`~repro.membership.GroupDirectory`; XFER streams the
+  shard state to new owners when the directory reassigns a shard.
+* :mod:`repro.gossip.harness` — the scale harness: 1k–10k lightweight
+  SWIM agents on the DES under chaos (crash storms, partitions via the
+  FaultPlane), measuring view-convergence time, per-node message
+  overhead, and false-positive evictions.
+
+The protocol layer form (``"GOSSIP"`` in a stack spec) lives in
+:mod:`repro.layers.gossip`.  All timing draws from the Clock seam and
+all randomness from seeded rng streams, so every run is
+digest-deterministic.
+"""
+
+from repro.gossip.detector import GossipFailureDetector, SwimAgent
+from repro.gossip.harness import (
+    GossipFleet,
+    GossipScaleConfig,
+    ScaleReport,
+    run_scale,
+    run_scenario,
+)
+from repro.gossip.shard import HashRing, ShardDirectory, ShardPlane
+from repro.gossip.swim import SwimConfig, SwimCore
+
+__all__ = [
+    "GossipFailureDetector",
+    "GossipFleet",
+    "GossipScaleConfig",
+    "HashRing",
+    "ScaleReport",
+    "ShardDirectory",
+    "ShardPlane",
+    "SwimAgent",
+    "SwimConfig",
+    "SwimCore",
+    "run_scale",
+    "run_scenario",
+]

@@ -1,0 +1,278 @@
+"""SWIM behind the :class:`~repro.membership.FailureDetector` protocol.
+
+Two pieces live here:
+
+* :class:`SwimAgent` — one lightweight SWIM member attached directly
+  to a simulated :class:`~repro.net.network.Network`.  No protocol
+  stack, no endpoint machinery: a fleet of thousands of agents is what
+  the scale harness simulates.  All timing runs through the injected
+  Clock and all randomness through the agent's seeded stream, so a
+  fleet is digest-deterministic.
+* :class:`GossipFailureDetector` — the facade that makes a SWIM core
+  interchangeable with the built-in
+  :class:`~repro.membership.TimeoutFailureDetector`: same ``monitor`` /
+  ``heartbeat`` / ``suspects`` / ``subscribe`` surface, so
+  ``ExternalFailureDetector.attach`` feeds MBRSHIP identically from
+  either.  Unlike the timeout scan — whose suspicion *is* its verdict —
+  SWIM distinguishes refutable suspicion from confirmation, so by
+  default subscribers hear only *confirmed* failures (suspicions that
+  out-lived the refutation window).  That asymmetry is the point: it is
+  what drives false-positive evictions to zero.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.membership.failure_detector import FailureDetector, SuspectCallback
+from repro.net.address import EndpointAddress
+from repro.runtime.clock import PeriodicTimer
+from repro.sim.rand import derive_seed
+from repro.gossip.swim import (
+    DEAD,
+    LEFT,
+    SUSPECT,
+    SwimConfig,
+    SwimCore,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["GossipFailureDetector", "SwimAgent"]
+
+#: Port every SWIM agent listens on (one agent per simulated node).
+SWIM_PORT = 7946
+
+
+class SwimAgent:
+    """One SWIM member speaking the wire codec over a Network.
+
+    ``peers`` is the shared universe of node names (self included) —
+    hand every agent of a fleet the *same* tuple.  The agent staggers
+    its first protocol period by a seeded random offset so a 10k-agent
+    fleet does not probe in lock-step.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Any,
+        scheduler: Any,
+        peers: Sequence[str],
+        seed: int = 0,
+        config: Optional[SwimConfig] = None,
+        rng: Optional[random.Random] = None,
+        addresses: Optional[Dict[str, EndpointAddress]] = None,
+        on_suspect: Optional[Callable[[str], None]] = None,
+        on_confirm: Optional[Callable[[str], None]] = None,
+        on_alive: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.scheduler = scheduler
+        self.address = EndpointAddress(name, SWIM_PORT)
+        # Address objects are interned in a fleet-shared cache: 10k
+        # agents resolving 10k targets must not allocate per send.
+        self._addresses = addresses if addresses is not None else {}
+        self.rng = rng or random.Random(derive_seed(seed, f"gossip.{name}"))
+        self.config = config or SwimConfig()
+        self.core = SwimCore(
+            name,
+            peers,
+            scheduler,
+            self.rng,
+            self._send,
+            self.config,
+            on_suspect=on_suspect,
+            on_confirm=on_confirm,
+            on_alive=on_alive,
+        )
+        network.attach(self.address, self._on_packet)
+        self._tick_timer = PeriodicTimer(scheduler, self.config.period, self._tick)
+        self.sent = 0
+        self.received = 0
+
+    def start(self) -> None:
+        """Begin probing after a seeded stagger within one period."""
+        self.scheduler.call_after(
+            self.rng.uniform(0.0, self.config.period), self._begin
+        )
+
+    def stop(self) -> None:
+        self._tick_timer.stop()
+
+    def _begin(self) -> None:
+        self._tick()
+        self._tick_timer.start()
+
+    def _tick(self) -> None:
+        # A crashed node's timers keep firing on the shared scheduler;
+        # the liveness guard is what makes the crash fail-stop.
+        if self.network.node_alive(self.name):
+            self.core.tick()
+
+    def _send(self, target: str, msg: Dict[str, Any]) -> None:
+        if not self.network.node_alive(self.name):
+            return
+        address = self._addresses.get(target)
+        if address is None:
+            address = EndpointAddress(target, SWIM_PORT)
+            self._addresses[target] = address
+        self.sent += 1
+        self.network.unicast(self.address, address, encode_message(msg))
+
+    def _on_packet(self, packet: Any) -> None:
+        if packet.garbled:
+            return
+        self.received += 1
+        self.core.on_message(decode_message(packet.payload))
+
+    def recover(self, incarnation: int) -> None:
+        """Rejoin after a fail-stop restart: blank view, bumped identity.
+
+        Group state is gone (the Network.recover contract); the agent
+        re-announces itself under ``incarnation`` — which must exceed
+        any the fleet has seen from it, or its ``dead`` record wins —
+        and pulls a state sync from a couple of seeded-random peers so
+        it re-learns the fleet's deviations without re-probing them all.
+        """
+        self.core = SwimCore(
+            self.name,
+            self.core._peers,
+            self.scheduler,
+            self.rng,
+            self._send,
+            self.config,
+            on_suspect=self.core.on_suspect,
+            on_confirm=self.core.on_confirm,
+            on_alive=self.core.on_alive,
+        )
+        self.core.incarnation = incarnation
+        self.core._buffer.add(self.name, 0, incarnation)
+        peers = self.core._peers
+        for _ in range(min(2, max(0, len(peers) - 1))):
+            target = peers[self.rng.randrange(len(peers))]
+            if target != self.name:
+                self.core.request_sync(target)
+
+
+class GossipFailureDetector(FailureDetector):
+    """A SWIM core speaking the pluggable failure-detection protocol.
+
+    Wraps either an existing core (the GOSSIP protocol layer hands in
+    its own) or a standalone :class:`SwimAgent` built via
+    :meth:`standalone`.  ``notify_on`` selects which SWIM transition
+    reaches subscribers: ``"confirm"`` (default — suspicion survived
+    refutation; what MBRSHIP should evict on) or ``"suspect"`` (the
+    aggressive semantics of the built-in timeout detector).
+    """
+
+    def __init__(
+        self,
+        core: SwimCore,
+        resolve: Optional[Callable[[EndpointAddress], Any]] = None,
+        notify_on: str = "confirm",
+        universe: Optional[List[Any]] = None,
+    ) -> None:
+        if notify_on not in ("confirm", "suspect"):
+            raise ValueError(f"notify_on must be confirm|suspect, got {notify_on!r}")
+        self.core = core
+        self._resolve = resolve or (lambda endpoint: endpoint)
+        self._universe = universe
+        self._monitored: Set[EndpointAddress] = set()
+        self._listeners: List[SuspectCallback] = []
+        self._agent: Optional[SwimAgent] = None
+        hook = self._on_verdict
+        if notify_on == "confirm":
+            self._chain(core, "on_confirm", hook)
+        else:
+            self._chain(core, "on_suspect", hook)
+
+    @staticmethod
+    def _chain(core: SwimCore, slot: str, hook: Callable[[Any], None]) -> None:
+        previous = getattr(core, slot)
+        if previous is None:
+            setattr(core, slot, hook)
+        else:
+            def chained(node: Any, _prev=previous, _hook=hook) -> None:
+                _prev(node)
+                _hook(node)
+
+            setattr(core, slot, chained)
+
+    @classmethod
+    def standalone(
+        cls,
+        network: Any,
+        scheduler: Any,
+        node: str,
+        peers: Sequence[str] = (),
+        seed: int = 0,
+        config: Optional[SwimConfig] = None,
+        notify_on: str = "confirm",
+    ) -> "GossipFailureDetector":
+        """A self-contained detector: builds and starts its own agent."""
+        universe = list(peers)
+        if node not in universe:
+            universe.append(node)
+        agent = SwimAgent(
+            node, network, scheduler, tuple(universe), seed=seed, config=config
+        )
+        detector = cls(
+            agent.core,
+            resolve=lambda endpoint: endpoint.node,
+            notify_on=notify_on,
+            universe=universe,
+        )
+        detector._agent = agent
+        agent.start()
+        return detector
+
+    @property
+    def agent(self) -> Optional[SwimAgent]:
+        """The owned standalone agent, if built via :meth:`standalone`."""
+        return self._agent
+
+    def _on_verdict(self, node: Any) -> None:
+        for endpoint in self._monitored:
+            if self._resolve(endpoint) == node:
+                for listener in self._listeners:
+                    listener(endpoint)
+
+    def subscribe(self, listener: SuspectCallback) -> None:
+        self._listeners.append(listener)
+
+    def monitor(self, endpoint: EndpointAddress) -> None:
+        self._monitored.add(endpoint)
+        node = self._resolve(endpoint)
+        if self._universe is not None and node not in self._universe:
+            self._universe.append(node)
+            # Hand the core a snapshot: set_peers detects growth by
+            # length, which a mutated shared list would mask.
+            self.core.set_peers(tuple(self._universe))
+
+    def forget(self, endpoint: EndpointAddress) -> None:
+        self._monitored.discard(endpoint)
+
+    def heartbeat(self, endpoint: EndpointAddress) -> None:
+        self.core.evidence_alive(self._resolve(endpoint))
+
+    def suspects(self) -> Set[EndpointAddress]:
+        out: Set[EndpointAddress] = set()
+        for endpoint in self._monitored:
+            if self.core.state_of(self._resolve(endpoint))[0] in (
+                SUSPECT,
+                DEAD,
+                LEFT,
+            ):
+                out.add(endpoint)
+        return out
+
+    def state_of(self, endpoint: EndpointAddress) -> Tuple[int, int]:
+        """The SWIM (state, incarnation) pair behind ``endpoint``."""
+        return self.core.state_of(self._resolve(endpoint))
+
+    def stop(self) -> None:
+        if self._agent is not None:
+            self._agent.stop()

@@ -1,0 +1,494 @@
+"""The gossip scale harness: 1k–10k SWIM agents on the DES under chaos.
+
+A fleet is n lightweight :class:`~repro.gossip.detector.SwimAgent`\\ s
+attached directly to one simulated network — no protocol stacks, which
+is what makes 10k simulated nodes tractable in one Python process.
+Chaos arrives through the same :class:`~repro.chaos.FaultPlane` ops the
+full-stack runner uses (crash storms, partitions, fault models); the
+harness measures what the paper's flush protocol cannot deliver at this
+scale and SWIM must:
+
+* **view-convergence time** — how long after a storm until every
+  surviving agent's membership digest is identical and exactly matches
+  ground truth (all crashed nodes confirmed dead, nobody else);
+* **message overhead** — steady-state packets per node per second,
+  which SWIM holds O(1) in fleet size;
+* **false positives** — alive, reachable nodes confirmed dead (the
+  acceptance bar is zero at the default suspect timeout);
+* **shard convergence** — whether the consistent-hash assignment
+  computed from surviving agents' views matches the one computed from
+  ground truth, i.e. whether every surviving shard group would converge
+  on the same owner set.
+
+Everything is seeded: same (seed, scenario) ⇒ same digests, same
+curves.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.gossip.detector import SwimAgent
+from repro.gossip.shard import ShardDirectory
+from repro.gossip.swim import SwimConfig
+from repro.net.lan import LanNetwork
+from repro.obs import MetricsRegistry
+from repro.sim.rand import derive_seed
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["GossipFleet", "GossipScaleConfig", "ScaleReport", "run_scale", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class GossipScaleConfig:
+    """One seeded scale run: fleet size, storm shape, shard geometry."""
+
+    nodes: int = 1000
+    seed: int = 0
+    crash_frac: float = 0.01  # fraction of the fleet the storm kills
+    storm_at: float = 5.0  # seconds of steady state before the storm
+    max_duration: float = 120.0  # convergence deadline (simulated)
+    poll: float = 0.25  # convergence-check cadence
+    shards: int = 64
+    replication: int = 3
+    swim: SwimConfig = field(default_factory=SwimConfig)
+
+
+@dataclass
+class ScaleReport:
+    """What one fleet run measured."""
+
+    nodes: int
+    seed: int
+    crashed: int
+    converged: bool
+    convergence_time: float
+    duration: float
+    steady_msgs_per_node_per_sec: float
+    total_msgs_per_node_per_sec: float
+    false_positives: int
+    suspects: int
+    confirms: int
+    refutes: int
+    resurrections: int
+    shards: int
+    replication: int
+    shards_converged: int
+    shards_reassigned: int
+    digest: str
+    events: int
+    ignored_ops: int = 0
+    scenario: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dict(self.__dict__)
+        out["convergence_time"] = round(self.convergence_time, 3)
+        out["duration"] = round(self.duration, 3)
+        out["steady_msgs_per_node_per_sec"] = round(
+            self.steady_msgs_per_node_per_sec, 3
+        )
+        out["total_msgs_per_node_per_sec"] = round(
+            self.total_msgs_per_node_per_sec, 3
+        )
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"gossip fleet: {self.nodes} nodes, seed {self.seed}"
+            + (f", scenario {self.scenario}" if self.scenario else ""),
+            f"  storm: {self.crashed} crashed"
+            f"  converged={self.converged}"
+            f"  convergence_time={self.convergence_time:.2f}s",
+            f"  overhead: {self.steady_msgs_per_node_per_sec:.2f} msgs/node/s"
+            f" steady, {self.total_msgs_per_node_per_sec:.2f} overall",
+            f"  detection: suspects={self.suspects} confirms={self.confirms}"
+            f" refutes={self.refutes} resurrections={self.resurrections}"
+            f" false_positives={self.false_positives}",
+            f"  shards: {self.shards_converged}/{self.shards} converged"
+            f" ({self.shards_reassigned} reassigned, rf={self.replication})",
+            f"  digest={self.digest[:16]} events={self.events}",
+        ]
+        return "\n".join(lines)
+
+
+class GossipFleet:
+    """n SWIM agents over one simulated LAN, plus ground truth."""
+
+    def __init__(
+        self, config: GossipScaleConfig, names: Optional[Sequence[str]] = None
+    ) -> None:
+        self.config = config
+        self.scheduler = Scheduler()
+        self.metrics = MetricsRegistry()
+        self.network = LanNetwork(
+            self.scheduler,
+            rng=random.Random(derive_seed(config.seed, "gossip.net")),
+            name="gossip",
+            metrics=self.metrics,
+            mtu=65536,
+        )
+        if names is None:
+            names = tuple(f"n{i}" for i in range(config.nodes))
+        self.names: Tuple[str, ...] = tuple(names)
+        self.crashed: Set[str] = set()
+        self.false_positives = 0
+        self._partition_epoch_at = -1.0e9  # last partition/heal time
+        self._recovered_at: Dict[str, float] = {}  # node -> last recovery
+        addresses: Dict[str, Any] = {}
+        self.agents: Dict[str, SwimAgent] = {}
+        for name in self.names:
+            agent = SwimAgent(
+                name,
+                self.network,
+                self.scheduler,
+                self.names,
+                seed=config.seed,
+                config=config.swim,
+                addresses=addresses,
+                on_confirm=self._confirm_watcher(name),
+            )
+            self.agents[name] = agent
+        for agent in self.agents.values():
+            agent.start()
+
+    # -- ground-truth bookkeeping --------------------------------------
+
+    def _confirm_watcher(self, agent_name: str):
+        def on_confirm(node: str) -> None:
+            # An *originated* confirm (a local suspect timer expiring)
+            # of a node that is up and reachable is a false positive —
+            # unless a partition changed recently enough that the
+            # suspicion legitimately started across a cut.  Applications
+            # of gossiped DEAD records are not counted: one stale
+            # partition-era verdict would otherwise be billed once per
+            # fleet member it reaches.
+            if not self.agents[agent_name].core.confirm_originated:
+                return
+            # A crashed observer's pre-crash timers still fire; its
+            # local bookkeeping is moot (recovery rebuilds the core).
+            if agent_name in self.crashed:
+                return
+            if not self.network.node_alive(node):
+                return
+            if not self.network.partitions.reachable(agent_name, node):
+                return
+            grace = 2.0 * self.config.swim.suspect_timeout
+            now = self.scheduler.now
+            if now - self._partition_epoch_at < grace:
+                return
+            # Suspicion raised while the node was genuinely down may
+            # confirm just after it recovers; that is staleness, not a
+            # false accusation.
+            if now - self._recovered_at.get(node, -1.0e9) < grace:
+                return
+            self.false_positives += 1
+
+        return on_confirm
+
+    def crash(self, node: str) -> None:
+        if node in self.crashed:
+            return
+        self.network.crash(node)
+        self.crashed.add(node)
+
+    def recover(self, node: str) -> None:
+        if node not in self.crashed:
+            return
+        self.network.recover(node)
+        self.crashed.discard(node)
+        self._recovered_at[node] = self.scheduler.now
+        agent = self.agents[node]
+        agent.recover(agent.core.incarnation + 1)
+
+    def partition(self, components: Sequence[Sequence[str]]) -> None:
+        self.network.partition(*components)
+        self._partition_epoch_at = self.scheduler.now
+
+    def heal(self) -> None:
+        self.network.heal()
+        self._partition_epoch_at = self.scheduler.now
+
+    def set_faults(self, model: Any) -> None:
+        self.network.set_faults(model)
+
+    def alive_names(self) -> List[str]:
+        return [n for n in self.names if n not in self.crashed]
+
+    # -- convergence ----------------------------------------------------
+
+    def converged(self) -> bool:
+        """All survivors: dead set == ground truth, no suspicions, and
+        identical membership digests."""
+        expected_dead = len(self.crashed)
+        survivors = []
+        for name in self.names:
+            if name in self.crashed:
+                continue
+            core = self.agents[name].core
+            if core.suspect_count or core.dead_count != expected_dead:
+                return False
+            survivors.append(name)
+        if not survivors:
+            return False
+        digest = self.agents[survivors[0]].core.digest()
+        return all(
+            self.agents[name].core.digest() == digest for name in survivors[1:]
+        )
+
+    def digest(self) -> str:
+        """The fleet membership digest (first survivor's view)."""
+        for name in self.names:
+            if name not in self.crashed:
+                return self.agents[name].core.digest()
+        return ""
+
+    def run_until_converged(self, deadline: float) -> bool:
+        while self.scheduler.now < deadline:
+            self.scheduler.run(
+                until=min(self.scheduler.now + self.config.poll, deadline)
+            )
+            if self.converged():
+                return True
+        return self.converged()
+
+    # -- shard evaluation ------------------------------------------------
+
+    def shard_convergence(self) -> Tuple[int, int]:
+        """(shards whose believed owner set matches ground truth,
+        shards whose owner set changed since the full fleet)."""
+        cfg = self.config
+        truth = ShardDirectory.assignment_for(
+            self.alive_names(), cfg.shards, cfg.replication
+        )
+        initial = ShardDirectory.assignment_for(
+            list(self.names), cfg.shards, cfg.replication
+        )
+        reassigned = sum(
+            1 for shard in truth if truth[shard] != initial[shard]
+        )
+        survivors = self.alive_names()
+        if not survivors:
+            return (0, reassigned)
+        # Digest convergence means every survivor computes the same
+        # assignment; sample a few seeded picks plus the first to verify
+        # rather than recomputing the ring n times.
+        rng = random.Random(derive_seed(cfg.seed, "gossip.shardcheck"))
+        sample = {survivors[0]}
+        while len(sample) < min(3, len(survivors)):
+            sample.add(survivors[rng.randrange(len(survivors))])
+        believed = [
+            ShardDirectory.assignment_for(
+                self.agents[name].core.alive_view(), cfg.shards, cfg.replication
+            )
+            for name in sorted(sample)
+        ]
+        converged = sum(
+            1
+            for shard in truth
+            if all(b[shard] == truth[shard] for b in believed)
+        )
+        return (converged, reassigned)
+
+    # -- aggregate stats --------------------------------------------------
+
+    def aggregate(self) -> Dict[str, int]:
+        totals = {
+            "suspects": 0,
+            "confirms": 0,
+            "refutes": 0,
+            "resurrections": 0,
+            "pings": 0,
+            "acks": 0,
+            "ping_reqs": 0,
+            "updates_sent": 0,
+        }
+        for agent in self.agents.values():
+            stats = agent.core.stats
+            for key in totals:
+                totals[key] += stats[key]
+        counters = {
+            "gossip_pings_total": ("SWIM pings sent", totals["pings"]),
+            "gossip_acks_total": ("SWIM acks sent", totals["acks"]),
+            "gossip_ping_reqs_total": (
+                "Indirect ping requests sent", totals["ping_reqs"]),
+            "gossip_suspects_total": (
+                "Suspicion transitions applied", totals["suspects"]),
+            "gossip_confirms_total": (
+                "Confirmed-dead transitions applied", totals["confirms"]),
+            "gossip_refutes_total": (
+                "Incarnation-bump refutations", totals["refutes"]),
+            "gossip_resurrections_total": (
+                "Dead records overridden by higher incarnations",
+                totals["resurrections"]),
+            "gossip_updates_piggybacked_total": (
+                "Membership updates piggybacked on messages",
+                totals["updates_sent"]),
+            "gossip_false_positives_total": (
+                "Alive, reachable nodes confirmed dead",
+                self.false_positives),
+        }
+        for name, (help_text, value) in counters.items():
+            self.metrics.counter(name, help_text).inc(value)
+        self.metrics.gauge(
+            "gossip_nodes", "Fleet size of the scale harness"
+        ).set(len(self.names))
+        self.metrics.gauge(
+            "gossip_alive", "Ground-truth alive nodes"
+        ).set(len(self.alive_names()))
+        return totals
+
+
+def _finish(
+    fleet: GossipFleet,
+    converged: bool,
+    storm_at: float,
+    converged_at: float,
+    steady_packets: int,
+    ignored_ops: int = 0,
+    scenario: Optional[str] = None,
+) -> ScaleReport:
+    config = fleet.config
+    totals = fleet.aggregate()
+    elapsed = fleet.scheduler.now
+    n = config.nodes
+    steady_rate = steady_packets / n / storm_at if storm_at > 0 else 0.0
+    total_rate = (
+        fleet.network.stats.packets_sent / n / elapsed if elapsed > 0 else 0.0
+    )
+    shards_converged, shards_reassigned = fleet.shard_convergence()
+    return ScaleReport(
+        nodes=n,
+        seed=config.seed,
+        crashed=len(fleet.crashed),
+        converged=converged,
+        convergence_time=(converged_at - storm_at) if converged else -1.0,
+        duration=elapsed,
+        steady_msgs_per_node_per_sec=steady_rate,
+        total_msgs_per_node_per_sec=total_rate,
+        false_positives=fleet.false_positives,
+        suspects=totals["suspects"],
+        confirms=totals["confirms"],
+        refutes=totals["refutes"],
+        resurrections=totals["resurrections"],
+        shards=config.shards,
+        replication=config.replication,
+        shards_converged=shards_converged,
+        shards_reassigned=shards_reassigned,
+        digest=fleet.digest(),
+        events=fleet.scheduler.events_executed,
+        ignored_ops=ignored_ops,
+        scenario=scenario,
+    )
+
+
+def run_scale(config: GossipScaleConfig) -> ScaleReport:
+    """One seeded crash-storm run (the benchmark's primitive).
+
+    Steady state for ``storm_at`` seconds, then a crash storm killing
+    ``crash_frac`` of the fleet in one instant, then run until every
+    survivor's view has converged (or ``max_duration`` passes).
+    """
+    fleet = GossipFleet(config)
+    fleet.scheduler.run(until=config.storm_at)
+    steady_packets = fleet.network.stats.packets_sent
+    rng = random.Random(derive_seed(config.seed, "gossip.storm"))
+    victims = rng.sample(fleet.names, max(1, int(config.nodes * config.crash_frac)))
+    for victim in victims:
+        fleet.crash(victim)
+    converged = fleet.run_until_converged(config.max_duration)
+    return _finish(
+        fleet, converged, config.storm_at, fleet.scheduler.now, steady_packets
+    )
+
+
+def _chaos_swim(swim: SwimConfig, nodes: int) -> SwimConfig:
+    """Scale the suspicion timeout logarithmically with fleet size.
+
+    Refutations spread by infection in O(log n) gossip periods, so a
+    suspicion timeout that is generous at 60 nodes loses the race at
+    thousands: a live node's incarnation bump cannot reach every
+    accuser before some of their timers fire.  memberlist scales the
+    timeout ``4..6 * log10(n + 1)`` probe intervals; scenario fleets
+    sit at 8 because the generator keeps them under storm (lossy fault
+    models, partitions) for the whole timeline, which is when the
+    refutation race is tightest.  This is only a floor — an explicitly
+    larger configured timeout wins.
+    """
+    floor = 8.0 * math.log10(nodes + 1) * swim.period
+    if swim.suspect_timeout >= floor:
+        return swim
+    return replace(swim, suspect_timeout=floor)
+
+
+def run_scenario(scenario: Any, config: GossipScaleConfig) -> ScaleReport:
+    """Run a chaos :class:`~repro.chaos.Scenario` timeline over a fleet.
+
+    Built for the generator's large-n family: crash storms, recovers,
+    partitions, heals, and fault-model swaps apply through the
+    FaultPlane; op kinds that need a protocol stack (load injection,
+    flow-control squeezes) are counted and skipped.  If the timeline
+    leaves a partition open it is healed after the last op — a fleet
+    split in two cannot (and should not) converge to one view — and
+    the network's baseline fault model is restored before convergence
+    is measured, so the clock times recovery from the storm rather
+    than progress through it.
+
+    Scenario fleets face suspicion/refutation races (partitions and
+    lossy fault models accuse live nodes), so the SWIM suspicion
+    timeout is lifted to the memberlist log-scale floor via
+    :func:`_chaos_swim`.
+    """
+    names = tuple(scenario.nodes)
+    config = GossipScaleConfig(
+        nodes=len(names),
+        seed=config.seed,
+        crash_frac=config.crash_frac,
+        storm_at=config.storm_at,
+        max_duration=config.max_duration,
+        poll=config.poll,
+        shards=config.shards,
+        replication=config.replication,
+        swim=_chaos_swim(config.swim, len(names)),
+    )
+    fleet = GossipFleet(config, names=names)
+    baseline_faults = fleet.network.fault_model
+    ignored = 0
+    ops = sorted(scenario.ops, key=lambda op: op.at)
+    first_op_at = ops[0].at if ops else 0.0
+    fleet.scheduler.run(until=first_op_at)
+    steady_packets = fleet.network.stats.packets_sent
+    partitioned = False
+    for op in ops:
+        fleet.scheduler.run(until=op.at)
+        kind = getattr(op, "kind", "")
+        if kind == "crash":
+            fleet.crash(op.node)
+        elif kind == "recover":
+            fleet.recover(op.node)
+        elif kind == "partition":
+            fleet.partition(op.components)
+            partitioned = True
+        elif kind == "heal":
+            fleet.heal()
+            partitioned = False
+        elif kind == "set_faults":
+            fleet.set_faults(op.model())
+        else:
+            ignored += 1
+    if partitioned:
+        fleet.heal()
+    fleet.set_faults(baseline_faults)
+    storm_at = max(first_op_at, 0.001)
+    converged = fleet.run_until_converged(fleet.scheduler.now + config.max_duration)
+    return _finish(
+        fleet,
+        converged,
+        storm_at,
+        fleet.scheduler.now,
+        steady_packets,
+        ignored_ops=ignored,
+        scenario=scenario.name,
+    )

@@ -1,0 +1,318 @@
+"""Sharded virtually-synchronous groups over a consistent-hash directory.
+
+The hourglass answer to "virtual synchrony does not scale": do not
+scale it.  Keep MBRSHIP's guarantees in many *small* groups — one per
+shard, each running the unmodified MBRSHIP/TOTAL/XFER stack — and let
+a thin consistent-hash directory decide which nodes own which shard.
+Failure detection for the whole fleet is the GOSSIP plane's job; the
+directory merely *reacts* to its verdicts by reassigning shards, and
+XFER's snapshot streaming performs the handoff when a new owner joins
+a shard group.
+
+:class:`ShardDirectory` extends the paper's advisory rendezvous
+service (:class:`~repro.membership.GroupDirectory`) — shard groups are
+ordinary groups, findable by joiners exactly like any other — with the
+ring that decides ownership.  :class:`ShardPlane` drives real stacks
+in a :class:`~repro.core.process.World`; the scale harness uses the
+same ring arithmetic without instantiating stacks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from functools import lru_cache
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.membership.directory import GroupDirectory
+
+__all__ = ["DEFAULT_SHARD_STACK", "HashRing", "ShardDirectory", "ShardPlane"]
+
+#: The stateful stack of the chaos plane: XFER for handoff, TOTAL for
+#: order, MBRSHIP for virtual synchrony — unmodified, per shard group.
+DEFAULT_SHARD_STACK = "XFER:TOTAL:MBRSHIP:FRAG:NAK:CHKSUM:COM"
+
+
+@lru_cache(maxsize=1 << 20)
+def _point(key: str) -> int:
+    """A stable 64-bit ring coordinate (sha256; PYTHONHASHSEED-proof).
+
+    Cached: the scale harness rebuilds rings over the same 10k-node
+    universe many times, and the vnode keys repeat across every build.
+    """
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    ``owners(key, count)`` walks clockwise from the key's point and
+    returns the first ``count`` distinct nodes — so when a node dies,
+    only the shards it owned move, each to the next node on the ring,
+    instead of the whole assignment reshuffling.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 32) -> None:
+        self.vnodes = vnodes
+        self._nodes: Dict[str, List[int]] = {}
+        self._points: List[Tuple[int, str]] = []
+        # Bulk construction sorts once; insort-per-point would make
+        # building a 10k-node ring quadratic in total vnodes.
+        for node in nodes:
+            if node in self._nodes:
+                continue
+            points = [_point(f"{node}#{v}") for v in range(self.vnodes)]
+            self._nodes[node] = points
+            self._points.extend((point, node) for point in points)
+        self._points.sort()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        points = [_point(f"{node}#{v}") for v in range(self.vnodes)]
+        self._nodes[node] = points
+        for point in points:
+            bisect.insort(self._points, (point, node))
+
+    def remove(self, node: str) -> None:
+        points = self._nodes.pop(node, None)
+        if points is None:
+            return
+        for point in points:
+            index = bisect.bisect_left(self._points, (point, node))
+            if index < len(self._points) and self._points[index] == (point, node):
+                del self._points[index]
+
+    def owners(self, key: str, count: int = 1) -> Tuple[str, ...]:
+        """The ``count`` distinct nodes owning ``key``, ring order."""
+        if not self._points:
+            return ()
+        out: List[str] = []
+        start = bisect.bisect_right(self._points, (_point(key), "￿"))
+        n = len(self._points)
+        for step in range(n):
+            node = self._points[(start + step) % n][1]
+            if node not in out:
+                out.append(node)
+                if len(out) >= count:
+                    break
+        return tuple(out)
+
+
+class ShardDirectory(GroupDirectory):
+    """Consistent-hash shard assignment on top of the rendezvous service.
+
+    Shard groups are named ``{prefix}-0000`` .. ``{prefix}-NNNN``; each
+    is an ordinary group in the directory sense (register/lookup work
+    unchanged — endpoints joining a shard group rendezvous through this
+    object like through any :class:`GroupDirectory`).  On top of that,
+    the ring maps shards to the nodes that *should* own them given the
+    currently believed-alive node set.
+    """
+
+    def __init__(
+        self,
+        shards: int = 16,
+        replication: int = 2,
+        vnodes: int = 32,
+        prefix: str = "shard",
+    ) -> None:
+        super().__init__()
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.shards = shards
+        self.replication = replication
+        self.prefix = prefix
+        self.ring = HashRing(vnodes=vnodes)
+
+    def shard_name(self, index: int) -> str:
+        return f"{self.prefix}-{index:04d}"
+
+    def shard_names(self) -> List[str]:
+        return [self.shard_name(i) for i in range(self.shards)]
+
+    def add_node(self, node: str) -> None:
+        """A node became eligible to own shards."""
+        self.ring.add(node)
+
+    def remove_node(self, node: str) -> None:
+        """A node was confirmed faulty (or left); stop assigning to it."""
+        self.ring.remove(node)
+
+    def shard_for(self, key: str) -> str:
+        """Which shard group a data key belongs to (hash partitioning)."""
+        return self.shard_name(_point(key) % self.shards)
+
+    def owners_of(self, shard: str) -> Tuple[str, ...]:
+        """The nodes that should currently run ``shard``'s group."""
+        return self.ring.owners(shard, self.replication)
+
+    def owners_for(self, key: str) -> Tuple[str, ...]:
+        return self.owners_of(self.shard_for(key))
+
+    def assignment(self) -> Dict[str, Tuple[str, ...]]:
+        """The full shard → owner-nodes map for the current ring."""
+        return {name: self.owners_of(name) for name in self.shard_names()}
+
+    @staticmethod
+    def assignment_for(
+        alive: Sequence[str],
+        shards: int,
+        replication: int,
+        vnodes: int = 32,
+        prefix: str = "shard",
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Pure-function assignment for an arbitrary alive set.
+
+        The scale harness evaluates shard-view convergence by computing
+        this from each surviving agent's *believed* membership and
+        comparing against the ground-truth alive set — no stacks needed.
+        """
+        directory = ShardDirectory(
+            shards=shards, replication=replication, vnodes=vnodes, prefix=prefix
+        )
+        directory.ring = HashRing(alive, vnodes=vnodes)
+        return directory.assignment()
+
+
+class ShardPlane:
+    """Drives real per-shard stacks in a World and performs handoff.
+
+    Each (node, shard) ownership is one endpoint joined to the shard's
+    group through ``stack`` (XFER at the top streams existing state to
+    the joiner).  :meth:`sync` diffs current handles against the
+    directory's assignment: new owners join (``shard_handoffs_total``),
+    ex-owners leave (``shard_releases_total``).  Call
+    :meth:`node_failed` from a failure detector's verdict — e.g.
+    ``ExternalFailureDetector.subscribe`` or a
+    :class:`~repro.gossip.GossipFailureDetector` — then :meth:`sync`.
+    """
+
+    def __init__(
+        self,
+        world: Any,
+        nodes: Sequence[str],
+        shards: int = 4,
+        replication: int = 2,
+        stack: str = DEFAULT_SHARD_STACK,
+        prefix: str = "shard",
+    ) -> None:
+        self.world = world
+        self.stack = stack
+        self.directory = ShardDirectory(
+            shards=shards, replication=replication, prefix=prefix
+        )
+        self.nodes: List[str] = list(nodes)
+        for node in self.nodes:
+            self.directory.add_node(node)
+        # (node, shard) -> GroupHandle
+        self.handles: Dict[Tuple[str, str], Any] = {}
+        self.reassignments = 0
+        self._metrics = getattr(world, "metrics", None)
+        if self._metrics is not None:
+            self._handoffs = self._metrics.counter(
+                "shard_handoffs_total",
+                "Shard ownerships gained (XFER state transfers started)",
+            )
+            self._releases = self._metrics.counter(
+                "shard_releases_total",
+                "Shard ownerships released (graceful leaves)",
+            )
+            self._reassigned = self._metrics.counter(
+                "shard_reassignments_total",
+                "Shard owner-set changes applied by sync()",
+            )
+            self._groups_gauge = self._metrics.gauge(
+                "shard_groups", "Shard groups with at least one live owner"
+            )
+
+    def start(self, settle: float = 0.5) -> None:
+        """Bring up every shard group per the initial assignment."""
+        self.sync(settle=settle)
+
+    def node_failed(self, node: str) -> None:
+        """A failure verdict: drop ``node`` from the ring and forget its
+        handles (its stacks died with the process)."""
+        self.directory.remove_node(node)
+        for key in [k for k in self.handles if k[0] == node]:
+            del self.handles[key]
+
+    def node_joined(self, node: str) -> None:
+        """A (re)joined node becomes assignable again."""
+        if node not in self.nodes:
+            self.nodes.append(node)
+        self.directory.add_node(node)
+
+    def sync(self, settle: float = 0.5) -> int:
+        """Reconcile running stacks with the directory's assignment.
+
+        Returns the number of ownership changes applied.  Joins are
+        staggered by ``settle`` simulated seconds each so concurrent
+        flushes do not trample one another (same pacing as the chaos
+        runner's form phase).
+        """
+        assignment = self.directory.assignment()
+        desired = {
+            (node, shard)
+            for shard, owners in assignment.items()
+            for node in owners
+        }
+        current = set(self.handles)
+        changes = 0
+        for node, shard in sorted(current - desired):
+            handle = self.handles.pop((node, shard))
+            handle.leave()
+            changes += 1
+            if self._metrics is not None:
+                self._releases.inc()
+        for node, shard in sorted(desired - current):
+            endpoint = self.world.process(node).endpoint()
+            self.handles[(node, shard)] = endpoint.join(shard, stack=self.stack)
+            changes += 1
+            if self._metrics is not None:
+                self._handoffs.inc()
+            if settle:
+                self.world.run(settle)
+        if changes:
+            self.reassignments += 1
+            if self._metrics is not None:
+                self._reassigned.inc()
+        if self._metrics is not None:
+            self._groups_gauge.set(len({shard for (_, shard) in self.handles}))
+        return changes
+
+    def shard_views(self, shard: str) -> Dict[str, Optional[Any]]:
+        """Each current owner's installed view of ``shard``'s group."""
+        return {
+            node: handle.view
+            for (node, s), handle in self.handles.items()
+            if s == shard
+        }
+
+    def converged(self) -> bool:
+        """Every shard's owners agree on a view containing exactly them."""
+        assignment = self.directory.assignment()
+        for shard, owners in assignment.items():
+            views = []
+            for node in owners:
+                handle = self.handles.get((node, shard))
+                if handle is None or handle.view is None:
+                    return False
+                views.append(handle.view)
+            if not views:
+                continue
+            member_nodes = sorted({m.node for m in views[0].members})
+            if member_nodes != sorted(owners):
+                return False
+            if any(v.members != views[0].members for v in views[1:]):
+                return False
+        return True

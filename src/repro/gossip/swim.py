@@ -1,0 +1,689 @@
+"""The SWIM protocol core (Das, Gupta, Motivala — DSN 2002).
+
+SWIM separates failure *detection* from membership *dissemination*:
+
+* Detection: each protocol period a member pings one other member,
+  chosen by randomized round-robin.  No ack within the ping timeout
+  triggers an indirect probe — ``k`` other members are asked to ping
+  the target on the prober's behalf — so one lossy link cannot convict
+  a healthy node.  Only when direct and indirect probes all fail does
+  the target become *suspected*.
+* Refutation: a suspected member that hears of its own suspicion
+  increments its *incarnation number* and gossips a fresh ``alive``;
+  higher incarnations override lower ones, so a slow-but-alive node
+  un-convicts itself.  A suspicion that survives ``suspect_timeout``
+  unrefuted is *confirmed*: the member is declared dead.
+* Dissemination: membership updates ride piggybacked on the ping/ack
+  traffic itself (infection style), each retransmitted O(log n) times
+  from a bounded buffer that prefers the least-transmitted updates.
+  An update reaches everyone in O(log n) protocol periods without any
+  dedicated broadcast traffic — this is what keeps the per-node load
+  constant as the fleet grows.
+
+The core is substrate-neutral in the same way every protocol layer in
+this package is: time comes from an injected Clock, randomness from an
+injected seeded ``random.Random``, and packets leave through an
+injected send callback.  Two adapters exist — the network-attached
+:class:`~repro.gossip.detector.SwimAgent` used by the scale harness,
+and the :class:`~repro.layers.gossip.GossipLayer` protocol layer.
+
+Memory note: a member's view of an n-node fleet is stored as the
+*deviations* from the all-alive baseline (suspects, deads, incarnation
+bumps), not as n records.  A 10k-agent simulation therefore costs
+O(churn) per agent, not O(n) — the difference between 2 MB and 2 GB.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ALIVE",
+    "SUSPECT",
+    "DEAD",
+    "LEFT",
+    "STATE_NAMES",
+    "PING",
+    "ACK",
+    "PING_REQ",
+    "SYNC_REQ",
+    "SYNC",
+    "GossipBuffer",
+    "SwimConfig",
+    "SwimCore",
+    "decode_message",
+    "encode_message",
+]
+
+# Member states, in override-precedence order.
+ALIVE = 0
+SUSPECT = 1
+DEAD = 2
+LEFT = 3
+
+STATE_NAMES = {ALIVE: "alive", SUSPECT: "suspect", DEAD: "dead", LEFT: "left"}
+
+# Message kinds.
+PING = 0
+ACK = 1
+PING_REQ = 2
+SYNC_REQ = 3
+SYNC = 4
+
+NodeId = Hashable
+Update = Tuple[NodeId, int, int]  # (node, state, incarnation)
+
+
+@dataclass(frozen=True)
+class SwimConfig:
+    """Tuning knobs of one SWIM instance.
+
+    Defaults are expressed in protocol periods: with ``period=1.0`` a
+    crash is suspected within ~2 periods, confirmed ``suspect_timeout``
+    later, and the confirmation infects the whole fleet in O(log n)
+    further periods.  ``suspect_timeout`` is deliberately several
+    periods long — a refutation must be able to out-run every member's
+    local confirmation clock, which is what keeps false-positive
+    evictions at zero.
+    """
+
+    period: float = 1.0  # protocol period (one probe per period)
+    ping_timeout: float = 0.25  # direct-ack deadline
+    indirect_timeout: float = 0.5  # indirect-ack deadline after ping-req
+    k_indirect: int = 3  # proxies asked to ping on our behalf
+    suspect_timeout: float = 6.0  # suspicion -> confirmed-dead deadline
+    piggyback: int = 12  # max updates carried per message
+    retransmit_mult: int = 3  # per-update sends = mult * ceil(log2(n+1))
+    max_buffer: int = 4096  # gossip-buffer entry cap
+    sync_chunk: int = 64  # updates per SYNC snapshot message
+    sync_period: float = 20.0  # anti-entropy pull cadence (0 disables)
+
+
+class GossipBuffer:
+    """Bounded dissemination buffer preferring least-transmitted updates.
+
+    Updates are bucketed by how many times they have been piggybacked;
+    :meth:`select` drains the lowest buckets first, so fresh updates
+    always out-compete old ones for message space.  An update is
+    dropped once it has been sent ``limit`` times (it has done its
+    O(log n) infection duty) or when a newer update for the same node
+    supersedes it.
+    """
+
+    def __init__(self, limit: int, max_entries: int) -> None:
+        self.limit = max(1, limit)
+        self.max_entries = max_entries
+        # node -> [state, incarnation, sends]
+        self._entries: Dict[NodeId, List[int]] = {}
+        self._buckets: List[Deque[Tuple[NodeId, int, int, int]]] = [
+            deque() for _ in range(self.limit)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def set_limit(self, limit: int) -> None:
+        limit = max(1, limit)
+        while len(self._buckets) < limit:
+            self._buckets.append(deque())
+        self.limit = limit
+
+    def add(self, node: NodeId, state: int, incarnation: int) -> None:
+        """Enqueue (or re-arm) the update for ``node``; resets its sends."""
+        if len(self._entries) >= self.max_entries and node not in self._entries:
+            self._evict_most_sent()
+        self._entries[node] = [state, incarnation, 0]
+        self._buckets[0].append((node, state, incarnation, 0))
+
+    def select(self, count: int) -> List[Update]:
+        """Up to ``count`` least-transmitted updates, charging each a send."""
+        out: List[Update] = []
+        for bucket_idx in range(self.limit):
+            bucket = self._buckets[bucket_idx]
+            while bucket and len(out) < count:
+                node, state, incarnation, sends = bucket.popleft()
+                entry = self._entries.get(node)
+                # Stale references (superseded or already advanced) are
+                # skipped lazily; the live copy sits in another bucket.
+                if (
+                    entry is None
+                    or entry[0] != state
+                    or entry[1] != incarnation
+                    or entry[2] != sends
+                ):
+                    continue
+                out.append((node, state, incarnation))
+                entry[2] += 1
+                if entry[2] < self.limit:
+                    self._buckets[entry[2]].append(
+                        (node, state, incarnation, entry[2])
+                    )
+                else:
+                    del self._entries[node]
+            if len(out) >= count:
+                break
+        return out
+
+    def _evict_most_sent(self) -> None:
+        for bucket in reversed(self._buckets):
+            while bucket:
+                node, state, incarnation, sends = bucket.pop()
+                entry = self._entries.get(node)
+                if (
+                    entry is not None
+                    and entry[0] == state
+                    and entry[1] == incarnation
+                    and entry[2] == sends
+                ):
+                    del self._entries[node]
+                    return
+
+
+class SwimCore:
+    """One member's SWIM state machine.
+
+    ``peers`` is the (shared, possibly immutable) universe of node ids,
+    self included; the scale harness hands every agent the same tuple.
+    ``send(target, message)`` ships a message dict; ``clock`` satisfies
+    the :class:`~repro.runtime.clock.Clock` surface; ``rng`` is this
+    member's seeded stream.  The adapter must call :meth:`tick` once
+    per protocol period and :meth:`on_message` per arriving message.
+    """
+
+    def __init__(
+        self,
+        me: NodeId,
+        peers: Sequence[NodeId],
+        clock: Any,
+        rng: Any,
+        send: Callable[[NodeId, Dict[str, Any]], None],
+        config: Optional[SwimConfig] = None,
+        on_suspect: Optional[Callable[[NodeId], None]] = None,
+        on_confirm: Optional[Callable[[NodeId], None]] = None,
+        on_alive: Optional[Callable[[NodeId], None]] = None,
+    ) -> None:
+        self.me = me
+        self.clock = clock
+        self.rng = rng
+        self.send = send
+        self.config = config or SwimConfig()
+        self.on_suspect = on_suspect
+        self.on_confirm = on_confirm
+        self.on_alive = on_alive
+        self.incarnation = 0
+        # Deviations from the all-alive baseline: node -> (state, inc).
+        self._records: Dict[NodeId, Tuple[int, int]] = {}
+        self.suspect_count = 0
+        self.dead_count = 0
+        self.left_count = 0
+        self._buffer = GossipBuffer(1, self.config.max_buffer)
+        self._peers: Sequence[NodeId] = ()
+        self._pos = 0
+        self._offset = 0
+        self._stride = 1
+        self.set_peers(peers)
+        # Periods since the last anti-entropy pull, seeded mid-cycle so
+        # a fleet's pulls spread uniformly instead of bursting together.
+        self._ticks = 0
+        if self.config.sync_period:
+            self._ticks = rng.randrange(
+                max(1, round(self.config.sync_period / self.config.period))
+            )
+        # True only while a local suspect timer is converting its own
+        # suspicion into DEAD — lets ``on_confirm`` observers tell an
+        # originated verdict from the application of a gossiped record.
+        self.confirm_originated = False
+        # In-flight probe: (target, token) plus its timers.
+        self._probe: Optional[Tuple[NodeId, int]] = None
+        self._probe_seq = 0
+        self._probe_timer: Any = None
+        # Indirect-probe relays we are serving: subject -> requesters.
+        self._relaying: Dict[NodeId, List[NodeId]] = {}
+        self.stats: Dict[str, int] = {
+            "pings": 0,
+            "acks": 0,
+            "ping_reqs": 0,
+            "relays": 0,
+            "suspects": 0,
+            "confirms": 0,
+            "refutes": 0,
+            "resurrections": 0,
+            "updates_sent": 0,
+            "syncs": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Membership records
+    # ------------------------------------------------------------------
+
+    def state_of(self, node: NodeId) -> Tuple[int, int]:
+        """(state, incarnation) for ``node``; baseline is (ALIVE, 0)."""
+        if node == self.me:
+            return (ALIVE, self.incarnation)
+        return self._records.get(node, (ALIVE, 0))
+
+    def alive_view(self) -> List[NodeId]:
+        """Peers this member currently believes are up (self included)."""
+        return [
+            p
+            for p in self._peers
+            if self.state_of(p)[0] not in (DEAD, LEFT)
+        ]
+
+    def deviations(self) -> List[Update]:
+        """Every record that differs from the baseline, self included."""
+        out: List[Update] = [
+            (node, state, inc) for node, (state, inc) in self._records.items()
+        ]
+        if self.incarnation:
+            out.append((self.me, ALIVE, self.incarnation))
+        return out
+
+    def digest(self) -> str:
+        """Order-independent hash of this member's membership view.
+
+        Two members with identical knowledge produce identical digests
+        — the convergence criterion of every gossip test and benchmark.
+        """
+        lines = sorted(
+            f"{node}:{state}:{inc}" for node, state, inc in self.deviations()
+        )
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+    def set_peers(self, peers: Sequence[NodeId]) -> None:
+        """(Re)point at the peer universe; re-derives the probe walk."""
+        if len(peers) != len(self._peers):
+            n = len(peers)
+            limit = max(
+                1,
+                self.config.retransmit_mult * math.ceil(math.log2(n + 1)),
+            )
+            self._buffer.set_limit(limit)
+            self._reshuffle(n)
+        self._peers = peers
+
+    def _reshuffle(self, n: int) -> None:
+        """New (offset, stride) for the probe walk.
+
+        ``offset + k*stride (mod n)`` with gcd(stride, n) = 1 visits
+        every index exactly once per n steps — SWIM's round-robin
+        bounded-completeness property without materializing a per-agent
+        shuffled copy of the member list.
+        """
+        self._pos = 0
+        if n <= 1:
+            self._offset, self._stride = 0, 1
+            return
+        self._offset = self.rng.randrange(n)
+        stride = self.rng.randrange(1, n)
+        while math.gcd(stride, n) != 1:
+            stride = self.rng.randrange(1, n)
+        self._stride = stride
+
+    # ------------------------------------------------------------------
+    # The protocol period
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One protocol period: probe the next round-robin target.
+
+        Every ``sync_period`` the member also pulls one random peer's
+        full deviation list (anti-entropy).  Infection-style piggyback
+        reaches almost everyone in O(log n) periods, but "almost" has a
+        stochastic tail — a member the infection happened to miss would
+        otherwise only learn of a death when its own probe walk reaches
+        the corpse, which is O(n) periods.  The periodic pull caps that
+        tail at one sync period, independent of fleet size, at a cost
+        of O(churn) bytes per sync.
+        """
+        cfg = self.config
+        if cfg.sync_period:
+            self._ticks += 1
+            if self._ticks >= max(1, round(cfg.sync_period / cfg.period)):
+                self._ticks = 0
+                target = self._random_alive_peer()
+                if target is not None:
+                    self.request_sync(target)
+        if self._probe is not None:
+            # Previous probe still unresolved (timers pending); let it be.
+            return
+        target = self._next_target()
+        if target is None:
+            return
+        self._probe_seq += 1
+        self._probe = (target, self._probe_seq)
+        self._send_message(target, {"k": PING})
+        self.stats["pings"] += 1
+        self._probe_timer = self.clock.call_after(
+            self.config.ping_timeout,
+            self._on_ping_timeout,
+            target,
+            self._probe_seq,
+        )
+
+    def _next_target(self) -> Optional[NodeId]:
+        n = len(self._peers)
+        if n <= 1:
+            return None
+        for _ in range(n):
+            if self._pos >= n:
+                self._reshuffle(n)
+            idx = (self._offset + self._pos * self._stride) % n
+            self._pos += 1
+            candidate = self._peers[idx]
+            if candidate == self.me:
+                continue
+            if self.state_of(candidate)[0] in (DEAD, LEFT):
+                continue
+            return candidate
+        return None
+
+    def _on_ping_timeout(self, target: NodeId, token: int) -> None:
+        if self._probe != (target, token):
+            return
+        proxies = self._pick_proxies(target)
+        for proxy in proxies:
+            self._send_message(proxy, {"k": PING_REQ, "s": target})
+            self.stats["ping_reqs"] += 1
+        self._probe_timer = self.clock.call_after(
+            self.config.indirect_timeout, self._on_probe_failed, target, token
+        )
+
+    def _random_alive_peer(self) -> Optional[NodeId]:
+        n = len(self._peers)
+        if n <= 1:
+            return None
+        for _ in range(8):
+            candidate = self._peers[self.rng.randrange(n)]
+            if candidate == self.me:
+                continue
+            if self.state_of(candidate)[0] in (DEAD, LEFT):
+                continue
+            return candidate
+        return None
+
+    def _pick_proxies(self, target: NodeId) -> List[NodeId]:
+        n = len(self._peers)
+        picked: List[NodeId] = []
+        if n <= 2:
+            return picked
+        attempts = 0
+        while len(picked) < self.config.k_indirect and attempts < 8 * self.config.k_indirect:
+            attempts += 1
+            candidate = self._peers[self.rng.randrange(n)]
+            if candidate in (self.me, target) or candidate in picked:
+                continue
+            if self.state_of(candidate)[0] in (DEAD, LEFT):
+                continue
+            picked.append(candidate)
+        return picked
+
+    def _on_probe_failed(self, target: NodeId, token: int) -> None:
+        if self._probe != (target, token):
+            return
+        self._probe = None
+        state, inc = self.state_of(target)
+        if state == ALIVE:
+            self.apply_update(target, SUSPECT, inc)
+
+    def _clear_probe(self, node: NodeId) -> None:
+        if self._probe is not None and self._probe[0] == node:
+            self._probe = None
+            if self._probe_timer is not None:
+                self._probe_timer.cancel()
+                self._probe_timer = None
+
+    # ------------------------------------------------------------------
+    # Update reconciliation (the heart of SWIM)
+    # ------------------------------------------------------------------
+
+    def apply_update(self, node: NodeId, state: int, inc: int) -> bool:
+        """Reconcile one membership update; returns whether it took.
+
+        Precedence (the SWIM rules): ``alive`` overrides anything of a
+        *lower* incarnation (including ``dead`` — that is what lets a
+        partitioned-then-healed or restarted member resurrect itself);
+        ``suspect`` overrides ``alive`` of the same incarnation;
+        ``dead`` overrides both at the same incarnation and is final
+        until a higher incarnation appears.  Updates about *ourselves*
+        in states ``suspect``/``dead`` trigger refutation: bump our
+        incarnation past the accusation and gossip a fresh ``alive``.
+        """
+        if node == self.me:
+            if state in (SUSPECT, DEAD) and inc >= self.incarnation:
+                self.incarnation = inc + 1
+                self.stats["refutes"] += 1
+                self._buffer.add(self.me, ALIVE, self.incarnation)
+                self._refute_blast()
+            return False
+        old_state, old_inc = self.state_of(node)
+        if state == ALIVE:
+            accepted = inc > old_inc
+        elif state == SUSPECT:
+            accepted = (old_state == ALIVE and inc >= old_inc) or (
+                old_state == SUSPECT and inc > old_inc
+            )
+        else:  # DEAD / LEFT are final at their incarnation
+            accepted = old_state not in (DEAD, LEFT) and inc >= old_inc
+        if not accepted:
+            return False
+        self._set_record(node, state, inc, old_state)
+        self._buffer.add(node, state, inc)
+        if state == SUSPECT:
+            self.stats["suspects"] += 1
+            if self.on_suspect is not None:
+                self.on_suspect(node)
+            self.clock.call_after(
+                self.config.suspect_timeout, self._on_suspect_expired, node, inc
+            )
+        elif state in (DEAD, LEFT):
+            self._clear_probe(node)
+            if state == DEAD:
+                self.stats["confirms"] += 1
+                if self.on_confirm is not None:
+                    self.on_confirm(node)
+        elif old_state in (SUSPECT, DEAD, LEFT):
+            if old_state in (DEAD, LEFT):
+                self.stats["resurrections"] += 1
+            if self.on_alive is not None:
+                self.on_alive(node)
+        return True
+
+    def _set_record(
+        self, node: NodeId, state: int, inc: int, old_state: int
+    ) -> None:
+        if old_state == SUSPECT:
+            self.suspect_count -= 1
+        elif old_state == DEAD:
+            self.dead_count -= 1
+        elif old_state == LEFT:
+            self.left_count -= 1
+        if state == SUSPECT:
+            self.suspect_count += 1
+        elif state == DEAD:
+            self.dead_count += 1
+        elif state == LEFT:
+            self.left_count += 1
+        if state == ALIVE and inc == 0:
+            self._records.pop(node, None)
+        else:
+            self._records[node] = (state, inc)
+
+    def _on_suspect_expired(self, node: NodeId, inc: int) -> None:
+        state, current_inc = self.state_of(node)
+        if state == SUSPECT and current_inc == inc:
+            self.confirm_originated = True
+            try:
+                self.apply_update(node, DEAD, inc)
+            finally:
+                self.confirm_originated = False
+
+    def _refute_blast(self) -> None:
+        """Push a fresh refutation to a few random peers immediately.
+
+        A refutation that only rides piggyback competes for gossip
+        slots with whatever storm caused the accusation, and under
+        churn it can lose the race against accusers' suspicion timers
+        (Lifeguard's motivating observation).  A handful of direct,
+        unacknowledged messages seeds the refutation's infection wave
+        at several points at once — and since every message stamps our
+        incarnation, each receiver reconciles it on contact even if
+        the piggyback slots are full.
+        """
+        for _ in range(self.config.k_indirect):
+            peer = self._random_alive_peer()
+            if peer is None:
+                return
+            self._send_message(peer, {"k": ACK})
+
+    def evidence_alive(self, node: NodeId) -> None:
+        """Direct local evidence of life (an ack, a heartbeat report).
+
+        Clears a local suspicion without gossiping: unlike a refutation
+        it carries no incarnation bump, so it is not transferable —
+        exactly the strength of evidence an ack provides.
+        """
+        state, inc = self.state_of(node)
+        if state == SUSPECT:
+            self._set_record(node, ALIVE, inc, state)
+            if inc == 0:
+                self._records.pop(node, None)
+            else:
+                self._records[node] = (ALIVE, inc)
+            if self.on_alive is not None:
+                self.on_alive(node)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def _send_message(self, target: NodeId, msg: Dict[str, Any]) -> None:
+        msg["f"] = self.me
+        msg["i"] = self.incarnation
+        if "u" not in msg:
+            updates = self._buffer.select(self.config.piggyback)
+            if updates:
+                msg["u"] = updates
+                self.stats["updates_sent"] += len(updates)
+        self.send(target, msg)
+
+    def on_message(self, msg: Dict[str, Any]) -> None:
+        """Process one arriving SWIM message (already decoded)."""
+        frm = msg["f"]
+        self._note_contact(frm, msg.get("i", 0))
+        for node, state, inc in msg.get("u", ()):
+            self.apply_update(node, state, inc)
+        kind = msg["k"]
+        if kind == PING:
+            self._send_message(frm, {"k": ACK})
+            self.stats["acks"] += 1
+        elif kind == ACK:
+            subject = msg.get("s")
+            if subject is None:
+                # Direct ack: resolves our probe of frm, and answers any
+                # ping-req we are relaying on frm's behalf.
+                self._clear_probe(frm)
+                self.evidence_alive(frm)
+                requesters = self._relaying.pop(frm, None)
+                if requesters:
+                    for requester in requesters:
+                        self._send_message(
+                            requester,
+                            {"k": ACK, "s": frm, "si": msg.get("i", 0)},
+                        )
+                        self.stats["relays"] += 1
+            else:
+                # Relayed ack: the subject answered somebody's proxy ping.
+                self._clear_probe(subject)
+                subject_inc = msg.get("si", 0)
+                if not self.apply_update(subject, ALIVE, subject_inc):
+                    self.evidence_alive(subject)
+        elif kind == PING_REQ:
+            subject = msg["s"]
+            requesters = self._relaying.setdefault(subject, [])
+            requesters.append(frm)
+            if len(requesters) == 1:
+                self._send_message(subject, {"k": PING})
+                self.stats["pings"] += 1
+                self.clock.call_after(
+                    self.config.indirect_timeout + self.config.ping_timeout,
+                    self._relaying.pop,
+                    subject,
+                    None,
+                )
+        elif kind == SYNC_REQ:
+            self._send_sync(frm)
+        # SYNC carries only piggybacked updates, already applied above.
+
+    def _note_contact(self, frm: NodeId, inc: int) -> None:
+        """Direct traffic from ``frm``: reconcile its self-reported state.
+
+        If we hold ``frm`` in suspect/dead at an incarnation it has not
+        out-bumped yet, force its record back into the gossip buffer so
+        our reply carries the accusation — the fastest path for ``frm``
+        to learn of it and refute.
+        """
+        if frm == self.me:
+            return
+        state, rec_inc = self.state_of(frm)
+        if state == ALIVE:
+            if inc > rec_inc:
+                self.apply_update(frm, ALIVE, inc)
+            return
+        if inc > rec_inc:
+            self.apply_update(frm, ALIVE, inc)
+        else:
+            self._buffer.add(frm, state, rec_inc)
+
+    def request_sync(self, target: NodeId) -> None:
+        """Ask ``target`` for its full deviation list (join/recovery)."""
+        self._send_message(target, {"k": SYNC_REQ})
+
+    def _send_sync(self, target: NodeId) -> None:
+        deviations = self.deviations()
+        chunk = self.config.sync_chunk
+        self.stats["syncs"] += 1
+        for start in range(0, len(deviations), chunk):
+            self._send_message(
+                target, {"k": SYNC, "u": deviations[start : start + chunk]}
+            )
+        if not deviations:
+            self._send_message(target, {"k": SYNC})
+
+
+# ----------------------------------------------------------------------
+# Wire codec for string-id universes (the scale harness / SwimAgent)
+# ----------------------------------------------------------------------
+#
+# Layout: kind|from|inc|subject|subject_inc|updates where updates is
+# ";"-joined "node,state,inc" triples.  Node names therefore must not
+# contain "|", ";" or "," — true of every generated fleet ("n0".."nN").
+
+
+def encode_message(msg: Dict[str, Any]) -> bytes:
+    """Encode a SWIM message dict into a compact wire payload."""
+    updates = msg.get("u", ())
+    return (
+        f"{msg['k']}|{msg['f']}|{msg.get('i', 0)}|{msg.get('s', '')}"
+        f"|{msg.get('si', 0)}"
+        f"|{';'.join(f'{n},{s},{i}' for n, s, i in updates)}"
+    ).encode()
+
+
+def decode_message(payload: bytes) -> Dict[str, Any]:
+    """Decode a payload produced by :func:`encode_message`."""
+    kind, frm, inc, subject, subject_inc, updates = payload.decode().split("|")
+    msg: Dict[str, Any] = {"k": int(kind), "f": frm, "i": int(inc)}
+    if subject:
+        msg["s"] = subject
+        msg["si"] = int(subject_inc)
+    if updates:
+        msg["u"] = [
+            (node, int(state), int(inc_))
+            for node, state, inc_ in (u.split(",") for u in updates.split(";"))
+        ]
+    return msg

@@ -21,6 +21,7 @@ it implements.  Layer names usable in stack specs:
 ``MERGE``             automatic view merging
 ``CHKSUM`` ``SIGN`` ``CRYPT`` ``COMPRESS``  integrity/privacy/bandwidth
 ``CREDIT``            credit-based flow control with backpressure
+``GOSSIP``            SWIM failure detection (scalable, gossip-based)
 ``FLOW`` ``PRIO``     pacing (deprecated; see CREDIT) / priority delivery
 ``LOGGER`` ``TRACER`` ``ACCOUNT``  journaling / tracing / metering
 ``XFER``              state transfer to joiners (snapshot streaming)
@@ -41,6 +42,7 @@ from repro.layers.crypt import EncryptionLayer
 from repro.layers.flowctl import FlowControlLayer
 from repro.layers.flush import FlushLayer
 from repro.layers.frag import FragLayer
+from repro.layers.gossip import GossipLayer
 from repro.layers.keydist import KeyDistributionLayer
 from repro.layers.locate import ResourceLocationLayer
 from repro.layers.logger import AccountingLayer, LoggingLayer, TracerLayer
@@ -76,6 +78,7 @@ __all__ = [
     "FlowControlLayer",
     "FlushLayer",
     "FragLayer",
+    "GossipLayer",
     "HorusSocket",
     "KeyDistributionLayer",
     "LoggingLayer",

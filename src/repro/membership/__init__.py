@@ -5,8 +5,11 @@ this package holds the surrounding services the paper describes:
 
 * :class:`~repro.membership.directory.GroupDirectory` — the rendezvous
   (name) service endpoints use to find an existing view of a group.
-* :class:`~repro.membership.failure_detector.HeartbeatFailureDetector`
-  — inaccurate, timeout-based failure suspicion.
+* :class:`~repro.membership.failure_detector.FailureDetector` — the
+  pluggable failure-suspicion protocol, with the built-in
+  :class:`~repro.membership.failure_detector.TimeoutFailureDetector`
+  (inaccurate, timeout-based suspicion; the SWIM-based alternative
+  lives in :mod:`repro.gossip`).
 * :class:`~repro.membership.external_fd.ExternalFailureDetector` — the
   Section 5 "external service [that] picks up communication
   problem-reports ... fed to all instances of the MBRSHIP layer".
@@ -16,7 +19,11 @@ this package holds the surrounding services the paper describes:
 
 from repro.membership.directory import GroupDirectory
 from repro.membership.external_fd import ExternalFailureDetector
-from repro.membership.failure_detector import HeartbeatFailureDetector
+from repro.membership.failure_detector import (
+    FailureDetector,
+    HeartbeatFailureDetector,
+    TimeoutFailureDetector,
+)
 from repro.membership.partition_models import (
     ExtendedVirtualSynchrony,
     PartitionPolicy,
@@ -28,10 +35,12 @@ from repro.membership.partition_models import (
 __all__ = [
     "ExtendedVirtualSynchrony",
     "ExternalFailureDetector",
+    "FailureDetector",
     "GroupDirectory",
     "HeartbeatFailureDetector",
     "PartitionPolicy",
     "PrimaryPartition",
     "RelacsViewSynchrony",
+    "TimeoutFailureDetector",
     "partition_policy",
 ]

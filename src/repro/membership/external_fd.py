@@ -15,9 +15,12 @@ share members converge on the same picture of which processes failed.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Set
 
 from repro.net.address import EndpointAddress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.membership.failure_detector import FailureDetector
 
 VerdictCallback = Callable[[EndpointAddress], None]
 
@@ -50,6 +53,24 @@ class ExternalFailureDetector:
         self._subscribers.append(callback)
         for endpoint in self._faulty:
             callback(endpoint)
+
+    def attach(
+        self, detector: "FailureDetector", reporter: EndpointAddress
+    ) -> "FailureDetector":
+        """Feed ``detector``'s suspicions in as problem reports.
+
+        This is the seam that makes failure detectors interchangeable:
+        anything speaking the
+        :class:`~repro.membership.failure_detector.FailureDetector`
+        protocol — the built-in timeout scan or the SWIM gossip plane —
+        files its suspicions here as ``reporter``, and every subscribed
+        MBRSHIP instance sees the same verdicts in the same order.
+        Returns ``detector`` for chaining.
+        """
+        detector.subscribe(
+            lambda suspect: self.report_problem(reporter, suspect)
+        )
+        return detector
 
     def report_problem(
         self, reporter: EndpointAddress, suspect: EndpointAddress

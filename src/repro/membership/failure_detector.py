@@ -1,16 +1,34 @@
-"""Heartbeat-based failure suspicion.
+"""Failure suspicion behind one pluggable protocol.
 
 Failure detectors in Horus are *inaccurate by design* (Section 11: "the
 system membership service ... uses potentially inaccurate failure
-suspicions").  This detector is report-driven: components feed it
-evidence of life (:meth:`heartbeat`) and it raises suspicion after a
-configurable silence.  It never claims certainty — a suspected process
+suspicions").  :class:`FailureDetector` names the contract every
+detector speaks — components feed it evidence of life
+(:meth:`~FailureDetector.heartbeat`) and it raises suspicion through
+subscribed callbacks.  It never claims certainty — a suspected process
 may merely be slow, which is exactly the gap the virtual synchrony
 model papers over by *simulating* fail-stop behaviour (Section 5).
+
+Two families implement the protocol:
+
+* :class:`TimeoutFailureDetector` (here) — the built-in per-member
+  silence scan: O(members) state and scan cost per detector, fine for
+  the small groups MBRSHIP runs.
+* :class:`repro.gossip.GossipFailureDetector` — SWIM-style ping /
+  ping-req probing with infection-style dissemination: constant
+  per-node probe cost, built for thousands of nodes.
+
+Because both speak this protocol, either can feed the Section 5
+external failure-detection service
+(:meth:`~repro.membership.external_fd.ExternalFailureDetector.attach`)
+and MBRSHIP consumes consistent verdicts without knowing which detector
+produced them.
 """
 
 from __future__ import annotations
 
+import warnings
+from abc import ABC, abstractmethod
 from typing import Callable, Dict, List, Set
 
 from repro.net.address import EndpointAddress
@@ -20,8 +38,8 @@ from repro.sim.timers import PeriodicTimer
 SuspectCallback = Callable[[EndpointAddress], None]
 
 
-class HeartbeatFailureDetector:
-    """Suspects monitored endpoints that have been silent too long.
+class FailureDetector(ABC):
+    """The pluggable failure-suspicion contract.
 
     Usage: call :meth:`monitor` for each peer of interest and
     :meth:`heartbeat` whenever evidence of life arrives (any received
@@ -30,22 +48,64 @@ class HeartbeatFailureDetector:
     re-arms detection.
     """
 
+    @abstractmethod
+    def subscribe(self, listener: SuspectCallback) -> None:
+        """Register a callback invoked on each new suspicion."""
+
+    @abstractmethod
+    def monitor(self, endpoint: EndpointAddress) -> None:
+        """Start watching ``endpoint``."""
+
+    @abstractmethod
+    def forget(self, endpoint: EndpointAddress) -> None:
+        """Stop watching ``endpoint`` (e.g. it left the group)."""
+
+    @abstractmethod
+    def heartbeat(self, endpoint: EndpointAddress) -> None:
+        """Record evidence that ``endpoint`` is alive."""
+
+    @abstractmethod
+    def suspects(self) -> Set[EndpointAddress]:
+        """The currently suspected endpoints."""
+
+    def is_suspected(self, endpoint: EndpointAddress) -> bool:
+        """Whether ``endpoint`` is currently under suspicion."""
+        return endpoint in self.suspects()
+
+    def stop(self) -> None:
+        """Stop any background activity (detector becomes inert)."""
+
+
+class TimeoutFailureDetector(FailureDetector):
+    """Suspects monitored endpoints that have been silent too long.
+
+    The built-in detector: a periodic scan compares each monitored
+    endpoint's last-heard time against ``suspect_timeout``.  Cost is
+    O(monitored endpoints) per ``scan_period`` — cheap for one group,
+    quadratic across a fleet, which is what the gossip detector exists
+    to avoid.
+    """
+
     def __init__(
         self,
         scheduler: Scheduler,
-        timeout: float = 1.0,
-        check_period: float = 0.25,
+        suspect_timeout: float = 1.0,
+        scan_period: float = 0.25,
     ) -> None:
         self.scheduler = scheduler
-        self.timeout = timeout
+        self.suspect_timeout = suspect_timeout
         self._last_heard: Dict[EndpointAddress, float] = {}
         self._suspected: Set[EndpointAddress] = set()
         self._listeners: List[SuspectCallback] = []
-        self._timer = PeriodicTimer(scheduler, check_period, self._check)
+        self._timer = PeriodicTimer(scheduler, scan_period, self._scan)
         self._timer.start()
 
+    @property
+    def timeout(self) -> float:
+        """Compatibility alias of :attr:`suspect_timeout`."""
+        return self.suspect_timeout
+
     def subscribe(self, listener: SuspectCallback) -> None:
-        """Register a callback invoked on each new suspicion."""
         self._listeners.append(listener)
 
     def monitor(self, endpoint: EndpointAddress) -> None:
@@ -53,33 +113,55 @@ class HeartbeatFailureDetector:
         self._last_heard.setdefault(endpoint, self.scheduler.now)
 
     def forget(self, endpoint: EndpointAddress) -> None:
-        """Stop watching ``endpoint`` (e.g. it left the group)."""
         self._last_heard.pop(endpoint, None)
         self._suspected.discard(endpoint)
 
     def heartbeat(self, endpoint: EndpointAddress) -> None:
-        """Record evidence that ``endpoint`` is alive."""
         self._last_heard[endpoint] = self.scheduler.now
         self._suspected.discard(endpoint)
 
     def suspects(self) -> Set[EndpointAddress]:
-        """The currently suspected endpoints."""
         return set(self._suspected)
 
     def is_suspected(self, endpoint: EndpointAddress) -> bool:
-        """Whether ``endpoint`` is currently under suspicion."""
         return endpoint in self._suspected
 
     def stop(self) -> None:
-        """Stop the periodic check (detector becomes inert)."""
+        """Stop the periodic scan (detector becomes inert)."""
         self._timer.stop()
 
-    def _check(self) -> None:
+    def _scan(self) -> None:
         now = self.scheduler.now
         for endpoint, heard in self._last_heard.items():
             if endpoint in self._suspected:
                 continue
-            if now - heard > self.timeout:
+            if now - heard > self.suspect_timeout:
                 self._suspected.add(endpoint)
                 for listener in self._listeners:
                     listener(endpoint)
+
+
+class HeartbeatFailureDetector(TimeoutFailureDetector):
+    """Deprecated name (and knob spelling) of :class:`TimeoutFailureDetector`.
+
+    The ``timeout``/``check_period`` knobs predate the
+    :class:`FailureDetector` protocol split; they map onto
+    ``suspect_timeout``/``scan_period``.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        timeout: float = 1.0,
+        check_period: float = 0.25,
+    ) -> None:
+        warnings.warn(
+            "HeartbeatFailureDetector (timeout=, check_period=) is deprecated; "
+            "use TimeoutFailureDetector (suspect_timeout=, scan_period=) — "
+            "any FailureDetector implementation is interchangeable here",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            scheduler, suspect_timeout=timeout, scan_period=check_period
+        )

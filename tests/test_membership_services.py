@@ -11,6 +11,7 @@ from repro.membership import (
     GroupDirectory,
     HeartbeatFailureDetector,
     PrimaryPartition,
+    TimeoutFailureDetector,
     partition_policy,
 )
 from repro.net.address import EndpointAddress, GroupAddress
@@ -56,10 +57,10 @@ class TestGroupDirectory:
         assert len(directory) == 2
 
 
-class TestHeartbeatFailureDetector:
+class TestTimeoutFailureDetector:
     def test_silence_raises_suspicion(self):
         sched = Scheduler()
-        fd = HeartbeatFailureDetector(sched, timeout=1.0, check_period=0.25)
+        fd = TimeoutFailureDetector(sched, suspect_timeout=1.0, scan_period=0.25)
         suspects = []
         fd.subscribe(suspects.append)
         fd.monitor(A)
@@ -68,7 +69,7 @@ class TestHeartbeatFailureDetector:
 
     def test_heartbeat_rescinds_suspicion(self):
         sched = Scheduler()
-        fd = HeartbeatFailureDetector(sched, timeout=1.0, check_period=0.25)
+        fd = TimeoutFailureDetector(sched, suspect_timeout=1.0, scan_period=0.25)
         fd.monitor(A)
         sched.run(until=0.5)
         fd.heartbeat(A)
@@ -79,7 +80,7 @@ class TestHeartbeatFailureDetector:
 
     def test_forget_stops_monitoring(self):
         sched = Scheduler()
-        fd = HeartbeatFailureDetector(sched, timeout=0.5, check_period=0.1)
+        fd = TimeoutFailureDetector(sched, suspect_timeout=0.5, scan_period=0.1)
         fd.monitor(A)
         fd.forget(A)
         sched.run(until=2.0)
@@ -87,12 +88,20 @@ class TestHeartbeatFailureDetector:
 
     def test_one_notification_per_episode(self):
         sched = Scheduler()
-        fd = HeartbeatFailureDetector(sched, timeout=0.5, check_period=0.1)
+        fd = TimeoutFailureDetector(sched, suspect_timeout=0.5, scan_period=0.1)
         suspects = []
         fd.subscribe(suspects.append)
         fd.monitor(A)
         sched.run(until=3.0)
         assert suspects == [A]  # not re-announced every check
+
+    def test_deprecated_heartbeat_shim_warns_and_delegates(self):
+        sched = Scheduler()
+        with pytest.warns(DeprecationWarning, match="TimeoutFailureDetector"):
+            fd = HeartbeatFailureDetector(sched, timeout=1.0, check_period=0.25)
+        fd.monitor(A)
+        sched.run(until=2.0)
+        assert fd.is_suspected(A)
 
 
 class TestExternalFailureDetector:
